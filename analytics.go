@@ -1,0 +1,77 @@
+package stratmatch
+
+import (
+	"sort"
+
+	"stratmatch/internal/analytic"
+	"stratmatch/internal/bandwidth"
+)
+
+// MateDistribution evaluates the paper's independent 1-matching model
+// (Algorithm 2) on G(n, p) and returns D(peer, ·): the probability that the
+// given peer's stable mate is each rank. The slice sums to the peer's
+// overall matching probability (≤ 1; the worst peer is matched about half
+// the time).
+func MateDistribution(n int, p float64, peer int) ([]float64, error) {
+	res, err := analytic.OneMatching(n, p, peer)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows[peer], nil
+}
+
+// ChoiceDistributions evaluates the independent b0-matching model
+// (Algorithm 3) and returns, for each choice c = 1..b0, the distribution of
+// the peer's c-th best stable mate.
+func ChoiceDistributions(n int, p float64, b0, peer int) ([][]float64, error) {
+	res, err := analytic.BMatching(analytic.BMatchingOptions{
+		N: n, P: p, B0: b0, TrackRows: []int{peer},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows[peer], nil
+}
+
+// FluidDensity is the paper's fluid limit for the best peer's mate rank:
+// density d·e^{−βd} at rescaled rank β, where d is the mean number of
+// acceptable peers.
+func FluidDensity(d, beta float64) float64 { return analytic.FluidDensity(d, beta) }
+
+// BandwidthDistribution is a host upstream-capacity distribution (a
+// continuous CDF over kbps).
+type BandwidthDistribution = bandwidth.Distribution
+
+// SaroiuBandwidth returns the reconstructed Gnutella upstream distribution
+// the paper uses to map ranks to bandwidths (its Figure 10).
+func SaroiuBandwidth() *BandwidthDistribution { return bandwidth.Saroiu() }
+
+// SharePoint is one peer's expected BitTorrent share ratio under the model.
+type SharePoint = bandwidth.SharePoint
+
+// ShareRatios predicts each rank's expected download/upload ratio in a
+// BitTorrent-like system with b0 Tit-for-Tat slots and d expected
+// acceptable peers, with upload capacities drawn from dist (the paper's
+// Figure 11 uses b0 = 3, d = 20 over the Saroiu distribution).
+func ShareRatios(n, b0 int, d float64, dist *BandwidthDistribution) ([]SharePoint, error) {
+	return bandwidth.ShareRatios(bandwidth.ShareRatioOptions{N: n, B0: b0, D: d, Dist: dist})
+}
+
+// RankByScore converts intrinsic scores into the package's rank convention:
+// it returns rankOf with rankOf[peer] = rank (0 = highest score) and
+// peerAt with peerAt[rank] = peer. Ties are broken by index so ranks are
+// always strict, as the model requires.
+func RankByScore(scores []float64) (rankOf, peerAt []int) {
+	peerAt = make([]int, len(scores))
+	for i := range peerAt {
+		peerAt[i] = i
+	}
+	sort.SliceStable(peerAt, func(a, b int) bool {
+		return scores[peerAt[a]] > scores[peerAt[b]]
+	})
+	rankOf = make([]int, len(scores))
+	for rank, peer := range peerAt {
+		rankOf[peer] = rank
+	}
+	return rankOf, peerAt
+}

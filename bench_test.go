@@ -1,0 +1,131 @@
+package stratmatch
+
+// One benchmark per paper table/figure: each regenerates the corresponding
+// artifact through internal/experiments and fails if any of the paper's
+// qualitative checks fail, so `go test -bench=.` is simultaneously a timing
+// harness and a reproduction gate. Benchmarks run at a reduced scale
+// (BenchScale) to keep -bench=. minutes-scale; cmd/stratsim runs the same
+// experiments at paper scale.
+
+import (
+	"testing"
+
+	"stratmatch/internal/experiments"
+)
+
+// BenchScale trades fidelity for speed in benchmarks; cmd/stratsim defaults
+// to 1.0 (paper scale).
+const BenchScale = 0.2
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.Config{Seed: 1, Scale: BenchScale, MCSamples: 200}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, fail := res.Checks(); fail > 0 {
+			b.Fatalf("%s: %d qualitative checks failed: %v", id, fail, res.Notes)
+		}
+	}
+}
+
+// BenchmarkFig1Convergence regenerates Figure 1 (convergence from the empty
+// configuration for three (n, d) settings).
+func BenchmarkFig1Convergence(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2Removal regenerates Figure 2 (re-convergence after removing
+// peers 1/100/300/600 from the stable state).
+func BenchmarkFig2Removal(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3Churn regenerates Figure 3 (disorder plateaus under five
+// churn rates).
+func BenchmarkFig3Churn(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4Clusters regenerates Figure 4 (disjoint b0+1 clusters under
+// constant b-matching on the complete graph).
+func BenchmarkFig4Clusters(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5ExtraConnection regenerates Figure 5 (one extra slot makes
+// the collaboration graph connected).
+func BenchmarkFig5ExtraConnection(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTable1 regenerates Table 1 (cluster sizes and MMO for constant
+// and normal-distributed budgets, b = 2..7).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkFig6Sigma regenerates Figure 6 (phase transition in σ for
+// N(6, σ²)-matching).
+func BenchmarkFig6Sigma(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Exact regenerates Figure 7 (exact vs approximate matching
+// probabilities for n = 3; error p³(1−p)).
+func BenchmarkFig7Exact(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8OneMatching regenerates Figure 8 (mate distributions of
+// peers 200/2500/4800, n = 5000, p = 0.5%).
+func BenchmarkFig8OneMatching(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9TwoMatching regenerates Figure 9 (estimated vs Monte-Carlo
+// simulated choice distributions, b0 = 2).
+func BenchmarkFig9TwoMatching(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10CDF regenerates Figure 10 (upstream capacity CDF).
+func BenchmarkFig10CDF(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11ShareRatio regenerates Figure 11 (expected D/U ratio versus
+// upload bandwidth, b0 = 3, d = 20).
+func BenchmarkFig11ShareRatio(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkTheorem1 demonstrates Theorem 1's B/2 bound and guaranteed
+// convergence on random schedules.
+func BenchmarkTheorem1(b *testing.B) { benchExperiment(b, "thm1") }
+
+// BenchmarkMMOClosedForm tabulates MMO(b0) against its 3·b0/4 limit.
+func BenchmarkMMOClosedForm(b *testing.B) { benchExperiment(b, "mmo") }
+
+// BenchmarkFluidLimit checks n·D(0, βn) → d·e^{−βd} (Conjecture 1).
+func BenchmarkFluidLimit(b *testing.B) { benchExperiment(b, "fluid") }
+
+// BenchmarkSwarm runs the BitTorrent TFT swarm and verifies emergent
+// stratification (the empirical side of Section 6).
+func BenchmarkSwarm(b *testing.B) { benchExperiment(b, "swarm") }
+
+// BenchmarkAblationStrategies compares the three initiative strategies'
+// convergence (DESIGN.md ablation).
+func BenchmarkAblationStrategies(b *testing.B) { benchExperiment(b, "strategies") }
+
+// BenchmarkAblationSlots sweeps the slot budget b0 = 1..6: connectivity of
+// the collaboration graph vs the rational pull towards fewer slots.
+func BenchmarkAblationSlots(b *testing.B) { benchExperiment(b, "slots") }
+
+// BenchmarkTies runs the quantized-score (tie) extension: convergence and
+// stratification survive ties; uniqueness does not.
+func BenchmarkTies(b *testing.B) { benchExperiment(b, "ties") }
+
+// BenchmarkCombo overlays bandwidth (global-ranking) and latency (metric)
+// matchings — the conclusion's combined-utility proposal.
+func BenchmarkCombo(b *testing.B) { benchExperiment(b, "combo") }
+
+// BenchmarkGossip runs gossip-based rank discovery and measures how fast
+// the estimated-rank matching approaches the true stable configuration.
+func BenchmarkGossip(b *testing.B) { benchExperiment(b, "gossip") }
+
+// BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
+// network of 5000 peers (not tied to a figure; the primitive every
+// experiment leans on).
+func BenchmarkStableMatching(b *testing.B) {
+	nw, err := NewRandomNetwork(5000, 20, 3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := nw.Stable()
+		if m.Degree(0) == 0 {
+			b.Fatal("best peer unmatched")
+		}
+	}
+}

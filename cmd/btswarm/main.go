@@ -1,0 +1,138 @@
+// Command btswarm runs a configurable BitTorrent Tit-for-Tat swarm
+// simulation and reports per-peer outcomes and stratification statistics.
+//
+// Usage examples:
+//
+//	btswarm -leechers 200 -seeds 2 -pieces 256 -rounds 2000
+//	btswarm -leechers 300 -unlimited -rounds 3000        # Section 6 regime
+//	btswarm -leechers 100 -seeds 1 -until-done           # flash crowd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"stratmatch/internal/bandwidth"
+	"stratmatch/internal/btsim"
+	"stratmatch/internal/rng"
+	"stratmatch/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "btswarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("btswarm", flag.ContinueOnError)
+	var (
+		leechers  = fs.Int("leechers", 200, "number of leechers")
+		seeds     = fs.Int("seeds", 2, "number of initial seeds")
+		pieces    = fs.Int("pieces", 256, "pieces in the file")
+		pieceKbit = fs.Float64("piece-kbit", 2048, "piece size in kbit")
+		neighbors = fs.Int("neighbors", 20, "tracker neighbors per peer (d)")
+		tftSlots  = fs.Int("tft-slots", 3, "Tit-for-Tat unchoke slots")
+		rounds    = fs.Int("rounds", 2000, "rounds to simulate")
+		untilDone = fs.Bool("until-done", false, "run until every leecher completes (bounded by -rounds*100)")
+		unlimited = fs.Bool("unlimited", false, "content-unlimited regime (paper Section 6: bandwidth only)")
+		postFlash = fs.Bool("post-flashcrowd", true, "start leechers with ~half the pieces")
+		uniform   = fs.Float64("uniform-kbps", 0, "give every peer this capacity instead of the Saroiu distribution")
+		seed      = fs.Uint64("seed", 0, "random seed")
+		warmup    = fs.Int("warmup", 0, "metrics warmup rounds (default: rounds/3)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	n := *leechers + *seeds
+	caps := make([]float64, n)
+	if *uniform > 0 {
+		for i := range caps {
+			caps[i] = *uniform
+		}
+	} else {
+		ranked := bandwidth.RankBandwidths(bandwidth.Saroiu(), *leechers)
+		perm := rng.New(*seed + 1).Perm(*leechers)
+		for i, src := range perm {
+			caps[i] = ranked[src]
+		}
+		for i := *leechers; i < n; i++ {
+			caps[i] = 5000 // well-provisioned seeds
+		}
+	}
+	w := *warmup
+	if w == 0 {
+		w = *rounds / 3
+	}
+	s, err := btsim.New(btsim.Options{
+		Leechers:            *leechers,
+		Seeds:               *seeds,
+		Pieces:              *pieces,
+		PieceKbit:           *pieceKbit,
+		UploadKbps:          caps,
+		TFTSlots:            *tftSlots,
+		NeighborCount:       *neighbors,
+		PostFlashCrowd:      *postFlash,
+		ContentUnlimited:    *unlimited,
+		MetricsWarmupRounds: w,
+		Seed:                *seed,
+	})
+	if err != nil {
+		return err
+	}
+	if *untilDone {
+		if !s.RunUntilDone(*rounds * 100) {
+			fmt.Println("WARNING: swarm did not complete within the round budget")
+		}
+	} else {
+		s.Run(*rounds)
+	}
+	report(s.Snapshot())
+	return nil
+}
+
+func report(m btsim.Metrics) {
+	fmt.Printf("rounds simulated:        %d\n", m.Round)
+	fmt.Printf("completed leechers:      %d\n", m.CompletedLeechers)
+	if !math.IsNaN(m.MeanCompletionRound) {
+		fmt.Printf("mean completion round:   %.1f\n", m.MeanCompletionRound)
+	}
+	if !math.IsNaN(m.StratCorrelation) {
+		fmt.Printf("stratification corr:     %.3f (rank vs mean TFT-partner rank)\n", m.StratCorrelation)
+		fmt.Printf("mean |rank offset|:      %.3f (normalized)\n", m.MeanAbsRankOffset)
+	}
+
+	// Decile table by rank.
+	peers := append([]btsim.PeerMetrics(nil), m.Peers...)
+	sort.Slice(peers, func(a, b int) bool { return peers[a].Rank < peers[b].Rank })
+	var leechers []btsim.PeerMetrics
+	for _, pm := range peers {
+		if !pm.IsSeed {
+			leechers = append(leechers, pm)
+		}
+	}
+	if len(leechers) < 10 {
+		return
+	}
+	fmt.Println("\n  decile  capacity(kbps)  down(kbit)  up(kbit)  share_ratio")
+	dec := len(leechers) / 10
+	for d := 0; d < 10; d++ {
+		var capK, down, up []float64
+		for _, pm := range leechers[d*dec : (d+1)*dec] {
+			capK = append(capK, pm.Capacity)
+			down = append(down, pm.TotalDown)
+			up = append(up, pm.TotalUp)
+		}
+		mu, md := stats.Summarize(up).Mean, stats.Summarize(down).Mean
+		ratio := math.NaN()
+		if mu > 0 {
+			ratio = md / mu
+		}
+		fmt.Printf("  %6d  %14.0f  %10.0f  %8.0f  %11.3f\n",
+			d+1, stats.Summarize(capK).Mean, md, mu, ratio)
+	}
+}

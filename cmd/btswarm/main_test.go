@@ -1,0 +1,53 @@
+package main
+
+import "testing"
+
+func TestRunSmallSwarm(t *testing.T) {
+	err := run([]string{
+		"-leechers", "20", "-seeds", "1", "-pieces", "16",
+		"-rounds", "60", "-neighbors", "5",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnlimitedRegime(t *testing.T) {
+	err := run([]string{
+		"-leechers", "30", "-seeds", "0", "-unlimited",
+		"-rounds", "120", "-neighbors", "8",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUniformCapacity(t *testing.T) {
+	err := run([]string{
+		"-leechers", "15", "-seeds", "1", "-pieces", "8",
+		"-rounds", "50", "-uniform-kbps", "500", "-neighbors", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUntilDone(t *testing.T) {
+	err := run([]string{
+		"-leechers", "10", "-seeds", "1", "-pieces", "8",
+		"-rounds", "500", "-until-done", "-neighbors", "4",
+		"-uniform-kbps", "800",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-leechers", "0"}); err == nil {
+		t.Fatal("0 leechers accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package analytic
+
+import "math"
+
+// FluidDensity is the paper's Conjecture 1 fluid limit for the best peer
+// (α = 0): the rescaled mate-rank density
+//
+//	M_{0,d}(β) = d · e^{−βd},
+//
+// where β is the mate's rank as a fraction of n and d the mean degree.
+func FluidDensity(d, beta float64) float64 {
+	if beta < 0 {
+		return 0
+	}
+	return d * math.Exp(-beta*d)
+}
+
+// FluidComparisonPoint pairs the finite-n model value n·D(0, j) with its
+// fluid limit at β = j/n.
+type FluidComparisonPoint struct {
+	Beta  float64
+	Model float64 // n · D(0, ⌊βn⌋) from Algorithm 2
+	Fluid float64 // d · e^{−βd}
+}
+
+// CompareFluid evaluates the best peer's rescaled mate distribution from
+// Algorithm 2 against the fluid limit on `points` evenly spaced β values in
+// (0, maxBeta]. It quantifies Theorem 2/3 + Conjecture 1: the finite model
+// converges to the fluid density as n grows with d = p·(n−1) fixed.
+func CompareFluid(n int, d float64, maxBeta float64, points int) ([]FluidComparisonPoint, error) {
+	p := d / float64(n-1)
+	res, err := OneMatching(n, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	row := res.Rows[0]
+	out := make([]FluidComparisonPoint, 0, points)
+	for k := 1; k <= points; k++ {
+		beta := maxBeta * float64(k) / float64(points)
+		j := int(beta * float64(n))
+		if j < 1 {
+			j = 1
+		}
+		if j >= n {
+			j = n - 1
+		}
+		out = append(out, FluidComparisonPoint{
+			Beta:  beta,
+			Model: float64(n) * row[j],
+			Fluid: FluidDensity(d, beta),
+		})
+	}
+	return out, nil
+}

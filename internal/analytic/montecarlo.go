@@ -1,0 +1,110 @@
+package analytic
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"stratmatch/internal/core"
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+// MonteCarloResult is the empirical counterpart of the analytic model:
+// choice distributions measured on true stable matchings over sampled
+// Erdős–Rényi graphs (the paper's Figure 9 "simulated" curves, which took
+// the authors "several weeks" at 10⁶ draws; the sample count here is a
+// parameter).
+type MonteCarloResult struct {
+	N       int
+	P       float64
+	B0      int
+	Peer    int
+	Samples int
+	// ChoiceDist[c−1][j] estimates Dc(peer, j).
+	ChoiceDist [][]float64
+	// MatchedCount[c−1] is the number of samples in which the peer's c-th
+	// slot was filled.
+	MatchedCount []int
+}
+
+// MonteCarloChoices samples `samples` G(n, p) graphs, solves the stable
+// b0-matching exactly on each (Algorithm 1), and histograms the ranks of the
+// target peer's 1st..b0-th choices. Sampling fans out over GOMAXPROCS
+// workers, each with an independent deterministic sub-stream, so the result
+// is reproducible for a given seed regardless of scheduling.
+func MonteCarloChoices(n int, p float64, b0, peer, samples int, seed uint64) (*MonteCarloResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("analytic: population %d", n)
+	}
+	if peer < 0 || peer >= n {
+		return nil, fmt.Errorf("analytic: peer %d out of range [0,%d)", peer, n)
+	}
+	if b0 < 1 {
+		return nil, fmt.Errorf("analytic: b0 = %d", b0)
+	}
+	if samples < 1 {
+		return nil, fmt.Errorf("analytic: samples = %d", samples)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("analytic: probability %v out of [0,1]", p)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > samples {
+		workers = samples
+	}
+	type partial struct {
+		counts  [][]int
+		matched []int
+	}
+	partials := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * samples / workers
+		hi := (w + 1) * samples / workers
+		pt := &partials[w]
+		pt.counts = make([][]int, b0)
+		for c := range pt.counts {
+			pt.counts[c] = make([]int, n)
+		}
+		pt.matched = make([]int, b0)
+		wg.Add(1)
+		go func(w, lo, hi int, pt *partial) {
+			defer wg.Done()
+			r := rng.New(seed + uint64(w)*0x9e3779b97f4a7c15)
+			for s := lo; s < hi; s++ {
+				g := graph.ErdosRenyi(n, p, r)
+				cfg := core.StableUniform(g, b0)
+				for c, mate := range cfg.Mates(peer) {
+					pt.counts[c][mate]++
+					pt.matched[c]++
+				}
+			}
+		}(w, lo, hi, pt)
+	}
+	wg.Wait()
+
+	res := &MonteCarloResult{
+		N:            n,
+		P:            p,
+		B0:           b0,
+		Peer:         peer,
+		Samples:      samples,
+		ChoiceDist:   make([][]float64, b0),
+		MatchedCount: make([]int, b0),
+	}
+	for c := 0; c < b0; c++ {
+		res.ChoiceDist[c] = make([]float64, n)
+		for _, pt := range partials {
+			res.MatchedCount[c] += pt.matched[c]
+			for j, cnt := range pt.counts[c] {
+				res.ChoiceDist[c][j] += float64(cnt)
+			}
+		}
+		for j := range res.ChoiceDist[c] {
+			res.ChoiceDist[c][j] /= float64(samples)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,204 @@
+package bandwidth
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"stratmatch/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		anchors []Anchor
+	}{
+		{"too few", []Anchor{{Kbps: 1, CDF: 0}}},
+		{"non-positive bw", []Anchor{{Kbps: 0, CDF: 0}, {Kbps: 10, CDF: 1}}},
+		{"cdf out of range", []Anchor{{Kbps: 1, CDF: 0}, {Kbps: 10, CDF: 1.5}}},
+		{"not increasing bw", []Anchor{{Kbps: 10, CDF: 0}, {Kbps: 5, CDF: 1}}},
+		{"not increasing cdf", []Anchor{{Kbps: 1, CDF: 0.5}, {Kbps: 10, CDF: 0.5}}},
+		{"not spanning", []Anchor{{Kbps: 1, CDF: 0.1}, {Kbps: 10, CDF: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.anchors); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestSaroiuCDFEndpoints(t *testing.T) {
+	d := Saroiu()
+	if d.CDF(d.Min()) != 0 {
+		t.Fatalf("CDF at min = %v", d.CDF(d.Min()))
+	}
+	if d.CDF(d.Max()) != 1 {
+		t.Fatalf("CDF at max = %v", d.CDF(d.Max()))
+	}
+	if d.CDF(1) != 0 || d.CDF(1e9) != 1 {
+		t.Fatal("CDF not clamped outside support")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	d := Saroiu()
+	prev := -1.0
+	for kbps := 10.0; kbps <= 100000; kbps *= 1.1 {
+		c := d.CDF(kbps)
+		if c < prev {
+			t.Fatalf("CDF decreasing at %v", kbps)
+		}
+		prev = c
+	}
+}
+
+func TestQuantileInvertsCDF(t *testing.T) {
+	d := Saroiu()
+	check := func(qRaw uint16) bool {
+		q := float64(qRaw%1000) / 1000
+		kbps := d.Quantile(q)
+		return math.Abs(d.CDF(kbps)-q) < 1e-9 || q == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	// Anchor exactness.
+	if got := d.Quantile(0.52); math.Abs(got-256) > 1e-9 {
+		t.Fatalf("Quantile(0.52) = %v, want 256", got)
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	d := Saroiu()
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		s := d.Sample(r)
+		if s < d.Min() || s > d.Max() {
+			t.Fatalf("sample %v outside support", s)
+		}
+	}
+}
+
+func TestSampleMatchesCDF(t *testing.T) {
+	d := Saroiu()
+	r := rng.New(2)
+	const n = 20000
+	below256 := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(r) <= 256 {
+			below256++
+		}
+	}
+	frac := float64(below256) / n
+	if math.Abs(frac-0.52) > 0.02 {
+		t.Fatalf("empirical CDF(256) = %v, want ~0.52", frac)
+	}
+}
+
+func TestRankBandwidthsOrdering(t *testing.T) {
+	d := Saroiu()
+	bws := RankBandwidths(d, 500)
+	if len(bws) != 500 {
+		t.Fatalf("%d entries", len(bws))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(bws))) {
+		t.Fatal("bandwidths not decreasing with rank")
+	}
+	// Strictly decreasing — the model forbids ties.
+	for i := 1; i < len(bws); i++ {
+		if bws[i] >= bws[i-1] {
+			t.Fatalf("tie or inversion at rank %d: %v >= %v", i, bws[i], bws[i-1])
+		}
+	}
+	// The best peer must be in the high-capacity tail, the worst near the
+	// dial-up end.
+	if bws[0] < 10000 {
+		t.Fatalf("best peer bandwidth %v suspiciously low", bws[0])
+	}
+	if bws[499] > 56 {
+		t.Fatalf("worst peer bandwidth %v suspiciously high", bws[499])
+	}
+}
+
+func TestShareRatiosShape(t *testing.T) {
+	// Figure 11 qualitative structure at a reduced population.
+	pts, err := ShareRatios(ShareRatioOptions{N: 600, B0: 3, D: 20, Dist: Saroiu()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 600 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// Best peers suffer: efficiency below 1.
+	topMean := 0.0
+	for _, pt := range pts[:20] {
+		topMean += pt.Efficiency
+	}
+	topMean /= 20
+	if topMean >= 1 {
+		t.Fatalf("best peers' mean efficiency %v, want < 1", topMean)
+	}
+	// Worst peers profit: efficiency above 1.
+	botMean := 0.0
+	for _, pt := range pts[580:] {
+		botMean += pt.Efficiency
+	}
+	botMean /= 20
+	if botMean <= 1 {
+		t.Fatalf("worst peers' mean efficiency %v, want > 1", botMean)
+	}
+	// Density-peak peers sit near ratio 1: somewhere in the mid population
+	// the efficiency must come close to 1 ...
+	closest := math.Inf(1)
+	spike := 0.0
+	for _, pt := range pts[150:500] {
+		if gap := math.Abs(pt.Efficiency - 1); gap < closest {
+			closest = gap
+		}
+		if pt.Efficiency > spike {
+			spike = pt.Efficiency
+		}
+	}
+	if closest > 0.15 {
+		t.Fatalf("no mid peer near ratio 1 (closest gap %v)", closest)
+	}
+	// ... and efficiency spikes appear just above density peaks.
+	if spike < 1.2 {
+		t.Fatalf("no efficiency spike in mid population (max %v)", spike)
+	}
+	// Everybody's expected download is positive and finite.
+	for _, pt := range pts {
+		if pt.ExpectedDownload <= 0 || math.IsInf(pt.ExpectedDownload, 0) {
+			t.Fatalf("rank %d: expected download %v", pt.Rank, pt.ExpectedDownload)
+		}
+		if pt.MatchProb <= 0 || pt.MatchProb > 1 {
+			t.Fatalf("rank %d: match prob %v", pt.Rank, pt.MatchProb)
+		}
+	}
+}
+
+func TestShareRatiosErrors(t *testing.T) {
+	d := Saroiu()
+	if _, err := ShareRatios(ShareRatioOptions{N: 1, B0: 3, D: 5, Dist: d}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := ShareRatios(ShareRatioOptions{N: 100, B0: 0, D: 5, Dist: d}); err == nil {
+		t.Error("b0=0 accepted")
+	}
+	if _, err := ShareRatios(ShareRatioOptions{N: 100, B0: 3, D: 5, Dist: nil}); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := ShareRatios(ShareRatioOptions{N: 100, B0: 3, D: 200, Dist: d}); err == nil {
+		t.Error("d > n-1 accepted")
+	}
+}
+
+func BenchmarkShareRatios(b *testing.B) {
+	d := Saroiu()
+	for i := 0; i < b.N; i++ {
+		if _, err := ShareRatios(ShareRatioOptions{N: 1000, B0: 3, D: 20, Dist: d}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

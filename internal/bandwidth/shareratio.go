@@ -1,0 +1,91 @@
+package bandwidth
+
+import (
+	"fmt"
+
+	"stratmatch/internal/analytic"
+)
+
+// SharePoint is one peer's row in the Figure 11 computation.
+type SharePoint struct {
+	Rank int
+	// Upload is the peer's upstream capacity in kbps.
+	Upload float64
+	// PerSlot is Upload / b0, the paper's x-axis ("bandwidth per slot").
+	PerSlot float64
+	// ExpectedDownload is Σ_c Σ_j Dc(i,j) · Upload(j)/b0.
+	ExpectedDownload float64
+	// ExpectedUpload is Upload/b0 times the expected number of filled
+	// slots — capacity parked on unfilled slots is not uploaded.
+	ExpectedUpload float64
+	// Efficiency is ExpectedDownload / ExpectedUpload: the expected
+	// download/upload ("share") ratio of the paper's Figure 11.
+	Efficiency float64
+	// MatchProb is the probability the peer collaborates with anyone.
+	MatchProb float64
+}
+
+// ShareRatioOptions parameterizes ShareRatios (the paper uses n implicit,
+// b0 = 3 — BitTorrent's default 4 slots minus the optimistic unchoke — and
+// d = 20 expected acceptable peers).
+type ShareRatioOptions struct {
+	N    int
+	B0   int
+	D    float64 // expected number of acceptable peers
+	Dist *Distribution
+}
+
+// ShareRatios evaluates the expected D/U ratio for every rank by feeding the
+// rank→bandwidth map through the independent b0-matching model
+// (Algorithm 3) with partner value u(j)/b0. This reproduces Figure 11:
+// ratios below 1 for the best peers, ≈1 at density peaks, efficiency spikes
+// just above the peaks, and high ratios for the worst peers.
+func ShareRatios(opt ShareRatioOptions) ([]SharePoint, error) {
+	if opt.N < 2 {
+		return nil, fmt.Errorf("bandwidth: population %d too small", opt.N)
+	}
+	if opt.B0 < 1 {
+		return nil, fmt.Errorf("bandwidth: b0 = %d", opt.B0)
+	}
+	if opt.Dist == nil {
+		return nil, fmt.Errorf("bandwidth: nil distribution")
+	}
+	if opt.D <= 0 || opt.D > float64(opt.N-1) {
+		return nil, fmt.Errorf("bandwidth: mean degree %v out of (0, n-1]", opt.D)
+	}
+	uploads := RankBandwidths(opt.Dist, opt.N)
+	perSlot := make([]float64, opt.N)
+	for i, u := range uploads {
+		perSlot[i] = u / float64(opt.B0)
+	}
+	bm, err := analytic.BMatching(analytic.BMatchingOptions{
+		N:            opt.N,
+		P:            opt.D / float64(opt.N-1),
+		B0:           opt.B0,
+		PartnerValue: perSlot,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]SharePoint, opt.N)
+	for i := 0; i < opt.N; i++ {
+		var filled float64
+		for c := 0; c < opt.B0; c++ {
+			filled += bm.SlotMatchProb[c][i]
+		}
+		expUp := perSlot[i] * filled
+		pt := SharePoint{
+			Rank:             i,
+			Upload:           uploads[i],
+			PerSlot:          perSlot[i],
+			ExpectedDownload: bm.ExpectedValue[i],
+			ExpectedUpload:   expUp,
+			MatchProb:        bm.MatchProbAny[i],
+		}
+		if expUp > 0 {
+			pt.Efficiency = pt.ExpectedDownload / expUp
+		}
+		points[i] = pt
+	}
+	return points, nil
+}

@@ -1,0 +1,48 @@
+package btsim
+
+import "math/bits"
+
+// bitset is a fixed-size piece bitmap.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+func newBitset(n int) bitset {
+	return bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+func (b bitset) has(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func (b bitset) set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b bitset) count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+func (b bitset) full() bool { return b.count() == b.n }
+
+func (b bitset) setAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	// Clear padding bits beyond n.
+	if extra := len(b.words)*64 - b.n; extra > 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= ^uint64(0) >> uint(extra)
+	}
+}
+
+// anyMissingIn reports whether other holds at least one piece b lacks —
+// i.e. whether b's owner is interested in other's owner.
+func (b bitset) anyMissingIn(other bitset) bool {
+	for i, w := range b.words {
+		if other.words[i]&^w != 0 {
+			return true
+		}
+	}
+	return false
+}

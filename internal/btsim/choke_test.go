@@ -1,0 +1,152 @@
+package btsim
+
+import "testing"
+
+func TestChokeSlotsBounded(t *testing.T) {
+	// A leecher never holds more than TFTSlots unchoked neighbors plus one
+	// optimistic; a seed never more than TFTSlots+OptimisticSlots.
+	s, err := New(Options{
+		Leechers: 40, Seeds: 2, Pieces: 64, PostFlashCrowd: true,
+		TFTSlots: 3, OptimisticSlots: 1, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 120; round++ {
+		s.Step()
+		for _, p := range s.peers {
+			unchoked := 0
+			for _, u := range p.unchoked {
+				if u {
+					unchoked++
+				}
+			}
+			limit := s.opt.TFTSlots
+			if p.done {
+				limit = s.opt.TFTSlots + s.opt.OptimisticSlots
+			}
+			if unchoked > limit {
+				t.Fatalf("round %d: peer %d unchokes %d > %d", round, p.id, unchoked, limit)
+			}
+			if p.optimistic >= 0 && p.unchoked[p.optimistic] {
+				t.Fatalf("round %d: peer %d optimistic slot overlaps a TFT slot", round, p.id)
+			}
+		}
+	}
+}
+
+func TestOptimisticRotates(t *testing.T) {
+	// Over many optimistic intervals a leecher's optimistic pick must
+	// change (content-unlimited keeps everyone interested forever).
+	s, err := New(Options{
+		Leechers: 30, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 10, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.peers[0]
+	seen := make(map[int]bool)
+	for round := 0; round < 600; round++ {
+		s.Step()
+		if p.optimistic >= 0 {
+			seen[p.neighbors[p.optimistic]] = true
+		}
+	}
+	if len(seen) < 3 {
+		t.Fatalf("optimistic unchoke visited only %d distinct neighbors", len(seen))
+	}
+}
+
+func TestRarestFirstPicksRarest(t *testing.T) {
+	// Construct a 3-peer scenario where the uploader has two pieces the
+	// downloader lacks, with different neighborhood availability: the
+	// rarer piece must be picked.
+	s, err := New(Options{
+		Leechers: 3, Pieces: 2, PieceKbit: 100,
+		UploadKbps: []float64{100, 100, 100}, NeighborCount: 2, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 0: empty. Peer 1: both pieces. Peer 2: piece 0 only.
+	// Availability from 0's perspective: piece 0 → 2 holders, piece 1 → 1.
+	give := func(p *peer, piece int) {
+		p.have.set(piece)
+		p.haveCount++
+		for _, j := range p.neighbors {
+			s.peers[j].avail[piece]++
+		}
+	}
+	give(s.peers[1], 0)
+	give(s.peers[1], 1)
+	give(s.peers[2], 0)
+	if got := s.pickPiece(s.peers[0], s.peers[1]); got != 1 {
+		t.Fatalf("picked piece %d, want the rarer piece 1", got)
+	}
+	// From peer 2 (has only piece 0), peer 0 must accept piece 0.
+	if got := s.pickPiece(s.peers[0], s.peers[2]); got != 0 {
+		t.Fatalf("picked %d from a single-piece holder", got)
+	}
+}
+
+func TestContentUnlimitedNeverDone(t *testing.T) {
+	s, err := New(Options{
+		Leechers: 15, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 5, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(300)
+	for _, p := range s.peers {
+		if p.done {
+			t.Fatalf("peer %d finished in content-unlimited mode", p.id)
+		}
+		if p.totalDown == 0 {
+			t.Fatalf("peer %d received nothing in 300 rounds", p.id)
+		}
+	}
+	if s.AllDone() {
+		t.Fatal("AllDone in content-unlimited mode")
+	}
+}
+
+func TestRecvRateMeasuresWindow(t *testing.T) {
+	// Two peers, unlimited content: after the first full choke interval,
+	// the measured rate from the partner equals its capacity (single
+	// active recipient gets the whole share).
+	s, err := New(Options{
+		Leechers: 2, Pieces: 1, ContentUnlimited: true,
+		UploadKbps: []float64{300, 500}, NeighborCount: 1,
+		ChokeIntervalRounds: 10, Seed: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(25)
+	p0, p1 := s.peers[0], s.peers[1]
+	if got := p0.recvRate[0]; got != 500 {
+		t.Fatalf("peer 0 measures %v kbps from peer 1, want 500", got)
+	}
+	if got := p1.recvRate[0]; got != 300 {
+		t.Fatalf("peer 1 measures %v kbps from peer 0, want 300", got)
+	}
+}
+
+func TestDepartedPeerNeverTransfers(t *testing.T) {
+	s, err := New(Options{
+		Leechers: 10, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 4, Seed: 26,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(50)
+	up, down := s.peers[3].totalUp, s.peers[3].totalDown
+	s.Depart(3)
+	s.Run(100)
+	if s.peers[3].totalUp != up || s.peers[3].totalDown != down {
+		t.Fatal("departed peer kept moving data")
+	}
+}

@@ -1,0 +1,124 @@
+package btsim
+
+import (
+	"math"
+
+	"stratmatch/internal/stats"
+)
+
+// PeerMetrics is the per-peer outcome of a simulation.
+type PeerMetrics struct {
+	ID       int
+	Capacity float64 // upload capacity, kbps
+	Rank     int     // global bandwidth rank, 0 = fastest
+	IsSeed   bool
+	Departed bool
+	Done     bool
+	// DoneRound is the round at which the peer finished (−1 if still
+	// leeching; 0 for initial seeds and post-flash-crowd instant finishers).
+	DoneRound int
+	// TotalUp / TotalDown are kbit moved over the whole run.
+	TotalUp   float64
+	TotalDown float64
+	// ShareRatio is TotalDown / TotalUp (NaN when nothing was uploaded) —
+	// the quantity the paper's Figure 11 predicts analytically.
+	ShareRatio float64
+	// MeanTFTPartnerRank averages the global ranks of the peers granted a
+	// rate-driven TFT slot; NaN when no rate-driven decision happened.
+	MeanTFTPartnerRank float64
+}
+
+// Metrics summarizes a swarm's state.
+type Metrics struct {
+	Round             int
+	Peers             []PeerMetrics
+	CompletedLeechers int
+	// MeanCompletionRound averages DoneRound over completed leechers that
+	// started incomplete (NaN if none).
+	MeanCompletionRound float64
+	// StratCorrelation is the Pearson correlation between a leecher's own
+	// rank and its mean TFT-partner rank. Stratification means strongly
+	// positive: fast peers trade with fast peers.
+	StratCorrelation float64
+	// MeanAbsRankOffset averages |own rank − mean partner rank| over
+	// leechers with TFT history, normalized by the population size; small
+	// values mean tight rank bands (cf. the MMO of Section 4).
+	MeanAbsRankOffset float64
+}
+
+// Snapshot computes metrics for the current state.
+func (s *Swarm) Snapshot() Metrics {
+	m := Metrics{Round: s.round}
+	var (
+		ownRanks, partnerRanks []float64
+		offsets                []float64
+		doneRounds             []float64
+	)
+	n := float64(len(s.peers))
+	for _, p := range s.peers {
+		pm := PeerMetrics{
+			ID:                 p.id,
+			Capacity:           p.capacity,
+			Rank:               s.rank[p.id],
+			IsSeed:             p.isSeed,
+			Departed:           p.departed,
+			Done:               p.done,
+			DoneRound:          p.doneRound,
+			TotalUp:            p.totalUp,
+			TotalDown:          p.totalDown,
+			ShareRatio:         math.NaN(),
+			MeanTFTPartnerRank: math.NaN(),
+		}
+		if p.totalUp > 0 {
+			pm.ShareRatio = p.totalDown / p.totalUp
+		}
+		if p.tftPartnerCount > 0 {
+			pm.MeanTFTPartnerRank = p.tftPartnerRankSum / float64(p.tftPartnerCount)
+		}
+		if !p.isSeed {
+			if p.done {
+				m.CompletedLeechers++
+				if p.doneRound > 0 {
+					doneRounds = append(doneRounds, float64(p.doneRound))
+				}
+			}
+			if p.tftPartnerCount > 0 {
+				ownRanks = append(ownRanks, float64(s.rank[p.id]))
+				partnerRanks = append(partnerRanks, pm.MeanTFTPartnerRank)
+				offsets = append(offsets, math.Abs(float64(s.rank[p.id])-pm.MeanTFTPartnerRank)/n)
+			}
+		}
+		m.Peers = append(m.Peers, pm)
+	}
+	m.StratCorrelation = stats.Pearson(ownRanks, partnerRanks)
+	if len(offsets) > 0 {
+		m.MeanAbsRankOffset = stats.Summarize(offsets).Mean
+	} else {
+		m.MeanAbsRankOffset = math.NaN()
+	}
+	if len(doneRounds) > 0 {
+		m.MeanCompletionRound = stats.Summarize(doneRounds).Mean
+	} else {
+		m.MeanCompletionRound = math.NaN()
+	}
+	return m
+}
+
+// TotalUploaded returns the total kbit uploaded by all peers so far.
+func (s *Swarm) TotalUploaded() float64 {
+	var total float64
+	for _, p := range s.peers {
+		total += p.totalUp
+	}
+	return total
+}
+
+// TotalDownloaded returns the total kbit downloaded by all peers so far.
+// Conservation requires TotalUploaded() == TotalDownloaded() at all times.
+func (s *Swarm) TotalDownloaded() float64 {
+	var total float64
+	for _, p := range s.peers {
+		total += p.totalDown
+	}
+	return total
+}

@@ -1,0 +1,346 @@
+package btsim
+
+// Step advances the simulation by one round (one second): choke decisions on
+// their (per-peer staggered) schedule, then one round of data transfer.
+// Staggering matters: real BitTorrent clients run independent 10-second
+// choke timers; synchronizing them makes Tit-for-Tat pairs oscillate instead
+// of locking in.
+func (s *Swarm) Step() {
+	for _, p := range s.peers {
+		if p.departed {
+			continue
+		}
+		if (s.round+p.id)%s.opt.ChokeIntervalRounds == 0 {
+			s.rechokePeer(p)
+		}
+		if !p.done && (s.round+p.id)%s.opt.OptimisticIntervalRounds == 0 {
+			s.rotateOptimisticPeer(p)
+		}
+	}
+	s.transfer()
+	s.round++
+}
+
+// Run advances the simulation by the given number of rounds.
+func (s *Swarm) Run(rounds int) {
+	for i := 0; i < rounds; i++ {
+		s.Step()
+	}
+}
+
+// RunUntilDone steps until every leecher holds all pieces or maxRounds
+// elapse; it reports whether the swarm finished.
+func (s *Swarm) RunUntilDone(maxRounds int) bool {
+	for i := 0; i < maxRounds; i++ {
+		if s.AllDone() {
+			return true
+		}
+		s.Step()
+	}
+	return s.AllDone()
+}
+
+// AllDone reports whether every present leecher has completed the file.
+func (s *Swarm) AllDone() bool {
+	for _, p := range s.peers {
+		if !p.isSeed && !p.departed && !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Round returns the current round number.
+func (s *Swarm) Round() int { return s.round }
+
+// Depart removes a peer from the swarm (failure injection): it stops
+// uploading and downloading and its neighbors forget its pieces.
+func (s *Swarm) Depart(id int) {
+	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
+		return
+	}
+	p := s.peers[id]
+	p.departed = true
+	for k, j := range p.neighbors {
+		q := s.peers[j]
+		kq := q.indexOf(id)
+		if kq < 0 {
+			continue
+		}
+		// Neighbors lose availability of p's pieces and any in-flight
+		// download from p.
+		for piece := 0; piece < s.opt.Pieces; piece++ {
+			if p.have.has(piece) {
+				q.avail[piece]--
+			}
+		}
+		q.inflight[kq] = -1
+		q.unchoked[kq] = false
+		if q.optimistic == kq {
+			q.optimistic = -1
+		}
+		_ = k
+	}
+}
+
+// indexOf returns the index of neighbor id in p.neighbors (sorted), or −1.
+func (p *peer) indexOf(id int) int {
+	lo, hi := 0, len(p.neighbors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.neighbors[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(p.neighbors) && p.neighbors[lo] == id {
+		return lo
+	}
+	return -1
+}
+
+// interestedIn reports whether peer v wants data from peer u: v is still
+// leeching and u has a piece v lacks (in content-unlimited mode every
+// leecher always wants data from everybody).
+func (s *Swarm) interestedIn(v, u *peer) bool {
+	if v.departed || u.departed || v == u {
+		return false
+	}
+	if s.opt.ContentUnlimited {
+		return !v.isSeed
+	}
+	if v.done {
+		return false
+	}
+	return v.have.anyMissingIn(u.have)
+}
+
+// rechokePeer recomputes p's rates from its elapsed window and reassigns its
+// TFT slots.
+func (s *Swarm) rechokePeer(p *peer) {
+	interval := float64(s.opt.ChokeIntervalRounds)
+	for k := range p.recvWindow {
+		p.recvRate[k] = p.recvWindow[k] / interval
+		p.recvWindow[k] = 0
+	}
+	if p.done {
+		s.rechokeSeed(p)
+	} else {
+		s.rechokeLeecher(p)
+	}
+}
+
+// rechokeLeecher implements Tit-for-Tat: unchoke the TFTSlots neighbors that
+// delivered the most data in the last interval and are interested in us.
+func (s *Swarm) rechokeLeecher(p *peer) {
+	type cand struct {
+		k    int
+		rate float64
+	}
+	var cands []cand
+	for k, j := range p.neighbors {
+		q := s.peers[j]
+		if q.departed || !s.interestedIn(q, p) {
+			p.unchoked[k] = false
+			continue
+		}
+		cands = append(cands, cand{k, p.recvRate[k]})
+		p.unchoked[k] = false
+	}
+	// Partial selection sort of the top TFTSlots by (rate desc, id asc).
+	slots := s.opt.TFTSlots
+	if slots > len(cands) {
+		slots = len(cands)
+	}
+	for pos := 0; pos < slots; pos++ {
+		best := pos
+		for i := pos + 1; i < len(cands); i++ {
+			if cands[i].rate > cands[best].rate ||
+				(cands[i].rate == cands[best].rate &&
+					p.neighbors[cands[i].k] < p.neighbors[cands[best].k]) {
+				best = i
+			}
+		}
+		cands[pos], cands[best] = cands[best], cands[pos]
+		p.unchoked[cands[pos].k] = true
+		// Stratification accounting: record the TFT partner's global rank,
+		// but only for rate-driven choices after the warmup — zero-rate
+		// picks are id-order artifacts, and early intervals measure mixing
+		// noise rather than Tit-for-Tat preferences.
+		if cands[pos].rate > 0 && s.round >= s.opt.MetricsWarmupRounds {
+			p.tftPartnerRankSum += float64(s.rank[p.neighbors[cands[pos].k]])
+			p.tftPartnerCount++
+		}
+	}
+	// If the optimistic pick just earned a TFT slot, the optimistic slot
+	// moves to a fresh choked neighbor (BitTorrent rotates it early).
+	if p.optimistic >= 0 && p.unchoked[p.optimistic] {
+		s.rotateOptimisticPeer(p)
+	}
+}
+
+// rechokeSeed gives seeds (and finished leechers) a fresh random set of
+// interested neighbors each interval — the rotation keeps seed capacity
+// spread over the swarm instead of captured by one peer.
+func (s *Swarm) rechokeSeed(p *peer) {
+	p.optimistic = -1 // seeds fold the optimistic slot into rotation
+	var cands []int
+	for k, j := range p.neighbors {
+		p.unchoked[k] = false
+		q := s.peers[j]
+		if !q.departed && s.interestedIn(q, p) {
+			cands = append(cands, k)
+		}
+	}
+	slots := s.opt.TFTSlots + s.opt.OptimisticSlots
+	for i := 0; i < slots && len(cands) > 0; i++ {
+		pick := s.r.Intn(len(cands))
+		p.unchoked[cands[pick]] = true
+		cands[pick] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
+	}
+}
+
+// rotateOptimisticPeer re-draws p's optimistic unchoke uniformly among
+// interested, currently choked neighbors.
+func (s *Swarm) rotateOptimisticPeer(p *peer) {
+	if s.opt.OptimisticSlots < 1 {
+		return
+	}
+	p.optimistic = -1
+	var cands []int
+	for k, j := range p.neighbors {
+		q := s.peers[j]
+		if !p.unchoked[k] && !q.departed && s.interestedIn(q, p) {
+			cands = append(cands, k)
+		}
+	}
+	if len(cands) > 0 {
+		p.optimistic = cands[s.r.Intn(len(cands))]
+	}
+}
+
+// transfer moves one round of data: every peer splits its capacity equally
+// among its active recipients (unchoked or optimistic, still interested).
+// Each connection streams into one piece at a time; several connections may
+// feed the same piece concurrently (BitTorrent downloads pieces in blocks
+// from many peers in parallel), all adding to the downloader's shared
+// per-piece progress. A connection transfers only what a piece still needs
+// and spills leftover capacity into the next piece, so no bandwidth is
+// burned on completed data.
+func (s *Swarm) transfer() {
+	for _, u := range s.peers {
+		if u.departed || u.capacity <= 0 {
+			continue
+		}
+		var active []int
+		for k, j := range u.neighbors {
+			if !u.unchoked[k] && k != u.optimistic {
+				continue
+			}
+			if s.interestedIn(s.peers[j], u) {
+				active = append(active, k)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		share := u.capacity / float64(len(active))
+		for _, k := range active {
+			v := s.peers[u.neighbors[k]]
+			kv := v.indexOf(u.id)
+			if kv < 0 {
+				continue
+			}
+			if s.opt.ContentUnlimited {
+				v.recvWindow[kv] += share
+				u.totalUp += share
+				v.totalDown += share
+				continue
+			}
+			remaining := share
+			for remaining > 1e-9 && !v.done {
+				piece := v.inflight[kv]
+				if piece < 0 || v.have.has(piece) || !u.have.has(piece) {
+					piece = s.pickPiece(v, u)
+					v.inflight[kv] = piece
+					if piece < 0 {
+						break // u has nothing v needs
+					}
+				}
+				need := s.opt.PieceKbit - v.pieceProgress[piece]
+				amt := remaining
+				if need < amt {
+					amt = need
+				}
+				v.pieceProgress[piece] += amt
+				v.recvWindow[kv] += amt
+				u.totalUp += amt
+				v.totalDown += amt
+				remaining -= amt
+				if v.pieceProgress[piece] >= s.opt.PieceKbit {
+					v.have.set(piece)
+					s.completePiece(v, piece)
+				}
+			}
+		}
+	}
+}
+
+// pickPiece chooses the piece v will stream from u: rarest first among
+// pieces u has and v lacks, preferring pieces no other connection is
+// currently feeding (to spread sources across pieces); when only in-flight
+// pieces remain, it joins the rarest of those — progress is shared, so this
+// accelerates completion instead of duplicating work.
+func (s *Swarm) pickPiece(v, u *peer) int {
+	inflight := make(map[int]bool, len(v.inflight))
+	for _, piece := range v.inflight {
+		if piece >= 0 {
+			inflight[piece] = true
+		}
+	}
+	bestFresh, bestFreshAvail := -1, int(^uint(0)>>1)
+	bestAny, bestAnyAvail := -1, int(^uint(0)>>1)
+	for piece := 0; piece < s.opt.Pieces; piece++ {
+		if v.have.has(piece) || !u.have.has(piece) {
+			continue
+		}
+		a := v.avail[piece]
+		if a < bestAnyAvail {
+			bestAny, bestAnyAvail = piece, a
+		}
+		if !inflight[piece] && a < bestFreshAvail {
+			bestFresh, bestFreshAvail = piece, a
+		}
+	}
+	if bestFresh >= 0 {
+		return bestFresh
+	}
+	return bestAny
+}
+
+// completePiece finalizes v's acquisition of piece: bookkeeping, have
+// broadcast, and completion detection.
+func (s *Swarm) completePiece(v *peer, piece int) {
+	v.haveCount++
+	for k := range v.inflight {
+		if v.inflight[k] == piece {
+			v.inflight[k] = -1
+		}
+	}
+	for _, j := range v.neighbors {
+		q := s.peers[j]
+		if q.departed {
+			continue
+		}
+		q.avail[piece]++
+	}
+	if v.haveCount == s.opt.Pieces {
+		v.done = true
+		v.doneRound = s.round + 1
+		for k := range v.inflight {
+			v.inflight[k] = -1
+		}
+	}
+}

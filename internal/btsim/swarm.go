@@ -1,0 +1,283 @@
+// Package btsim is a round-based BitTorrent swarm simulator: pieces and
+// bitfields, rarest-first piece selection, Tit-for-Tat choking with an
+// optimistic unchoke slot, and fair upload-capacity sharing.
+//
+// It is the empirical substrate for the paper's Section 6: the analytic
+// model predicts stratification and share ratios from the stable-matching
+// abstraction; the simulator lets us observe the same phenomena emerge from
+// actual TFT protocol mechanics. The paper itself relies on external
+// measurements (Bharambe et al.; Legout et al.) for this step — the
+// simulator replaces those deployments (see DESIGN.md §5).
+//
+// Simulation time advances in rounds of one second. Capacities are in
+// kbit/s and pieces have a size in kbit, so a peer with capacity c uploads
+// c kbit per round, split equally among its active (unchoked and
+// interested) transfer partners.
+package btsim
+
+import (
+	"fmt"
+
+	"stratmatch/internal/rng"
+)
+
+// Options configures a swarm.
+type Options struct {
+	// Leechers is the number of downloading peers.
+	Leechers int
+	// Seeds is the number of initial seeds.
+	Seeds int
+	// Pieces is the number of pieces in the shared file.
+	Pieces int
+	// PieceKbit is the size of one piece in kbit.
+	PieceKbit float64
+	// UploadKbps maps each peer (leechers first, then seeds) to its upload
+	// capacity. If nil, every peer gets 400 kbps.
+	UploadKbps []float64
+	// TFTSlots is the number of Tit-for-Tat unchoke slots (BitTorrent
+	// default: 3).
+	TFTSlots int
+	// OptimisticSlots is the number of optimistic unchoke slots
+	// (BitTorrent default: 1).
+	OptimisticSlots int
+	// ChokeIntervalRounds is how often the TFT slots are re-evaluated
+	// (BitTorrent: every 10 s).
+	ChokeIntervalRounds int
+	// OptimisticIntervalRounds is how often the optimistic slot rotates
+	// (BitTorrent: every 30 s).
+	OptimisticIntervalRounds int
+	// NeighborCount is the number of random neighbors the tracker hands
+	// each peer (the paper's d).
+	NeighborCount int
+	// PostFlashCrowd starts every leecher with each piece independently
+	// with probability 1/2, making content availability a non-issue — the
+	// paper's post-flash-crowd assumption. When false, leechers start
+	// empty (flash crowd).
+	PostFlashCrowd bool
+	// MetricsWarmupRounds excludes TFT partner decisions before this round
+	// from the stratification metrics (the early intervals measure mixing
+	// noise, not Tit-for-Tat preference).
+	MetricsWarmupRounds int
+	// ContentUnlimited switches the swarm to the paper's Section 6 regime:
+	// content availability is never a bottleneck, every leecher is always
+	// interested in every peer, and nobody finishes — only bandwidth and
+	// Tit-for-Tat matter. Piece bookkeeping is bypassed; rates and totals
+	// are still metered, making it the steady-state stratification probe.
+	ContentUnlimited bool
+	// Seed seeds the deterministic random source.
+	Seed uint64
+}
+
+func (o *Options) withDefaults() Options {
+	opt := *o
+	if opt.TFTSlots == 0 {
+		opt.TFTSlots = 3
+	}
+	if opt.OptimisticSlots == 0 {
+		opt.OptimisticSlots = 1
+	}
+	if opt.ChokeIntervalRounds == 0 {
+		opt.ChokeIntervalRounds = 10
+	}
+	if opt.OptimisticIntervalRounds == 0 {
+		opt.OptimisticIntervalRounds = 30
+	}
+	if opt.NeighborCount == 0 {
+		opt.NeighborCount = 20
+	}
+	if opt.PieceKbit == 0 {
+		opt.PieceKbit = 2048 // 256 KiB pieces
+	}
+	return opt
+}
+
+type peer struct {
+	id       int
+	capacity float64
+	isSeed   bool // initial seed: never downloads
+	departed bool // left the swarm (failure injection)
+
+	have      bitset
+	haveCount int
+	done      bool // has every piece (seed or finished leecher)
+	doneRound int  // round at which the peer completed (-1 while leeching)
+
+	neighbors []int
+	// recvWindow[k] is the kbit received from neighbors[k] during the
+	// current choke interval; recvRate[k] is the rate measured over the
+	// previous interval (the "last 10 seconds" of the TFT policy).
+	recvWindow []float64
+	recvRate   []float64
+
+	// unchoked[k] reports whether neighbors[k] currently holds one of our
+	// TFT slots; optimistic is the index into neighbors of the optimistic
+	// unchoke (−1 if none).
+	unchoked   []bool
+	optimistic int
+
+	// inflight[k] is the piece currently streamed from neighbors[k]
+	// (−1 when idle). Several connections may feed the same piece — like
+	// BitTorrent's block-level parallel download — all contributing to the
+	// shared pieceProgress, so overlap wastes nothing.
+	inflight []int
+	// pieceProgress[p] is the accumulated kbit towards piece p.
+	pieceProgress []float64
+
+	// avail[p] counts how many neighbors have piece p (rarest-first input).
+	avail []int
+
+	totalUp   float64
+	totalDown float64
+	// tftPartnerRankSum / tftPartnerCount accumulate the ranks of TFT
+	// (non-optimistic) unchoke partners at each choke decision, for the
+	// stratification metrics.
+	tftPartnerRankSum float64
+	tftPartnerCount   int
+}
+
+// Swarm is a running simulation. Create with New, advance with Run or Step.
+type Swarm struct {
+	opt    Options
+	peers  []*peer
+	r      *rng.RNG
+	round  int
+	nextID int
+
+	// rank[i] is peer i's global bandwidth rank (0 = fastest) among the
+	// initial population; the stratification metrics compare partner ranks.
+	rank []int
+}
+
+// New builds a swarm. Peer ids 0..Leechers-1 are leechers,
+// Leechers..Leechers+Seeds-1 are seeds.
+func New(o Options) (*Swarm, error) {
+	opt := o.withDefaults()
+	n := opt.Leechers + opt.Seeds
+	switch {
+	case opt.Leechers < 1:
+		return nil, fmt.Errorf("btsim: %d leechers", opt.Leechers)
+	case opt.Pieces < 1:
+		return nil, fmt.Errorf("btsim: %d pieces", opt.Pieces)
+	case opt.PieceKbit <= 0:
+		return nil, fmt.Errorf("btsim: piece size %v", opt.PieceKbit)
+	case opt.UploadKbps != nil && len(opt.UploadKbps) != n:
+		return nil, fmt.Errorf("btsim: %d capacities for %d peers", len(opt.UploadKbps), n)
+	case opt.NeighborCount < 1:
+		return nil, fmt.Errorf("btsim: neighbor count %d", opt.NeighborCount)
+	case opt.TFTSlots < 1:
+		return nil, fmt.Errorf("btsim: %d TFT slots", opt.TFTSlots)
+	}
+	s := &Swarm{opt: opt, r: rng.New(opt.Seed), peers: make([]*peer, 0, n)}
+	for i := 0; i < n; i++ {
+		capKbps := 400.0
+		if opt.UploadKbps != nil {
+			capKbps = opt.UploadKbps[i]
+		}
+		p := &peer{
+			id:            i,
+			capacity:      capKbps,
+			isSeed:        i >= opt.Leechers,
+			have:          newBitset(opt.Pieces),
+			avail:         make([]int, opt.Pieces),
+			pieceProgress: make([]float64, opt.Pieces),
+			optimistic:    -1,
+			doneRound:     -1,
+		}
+		if p.isSeed {
+			p.have.setAll()
+			p.haveCount = opt.Pieces
+			p.done = true
+			p.doneRound = 0
+		} else if opt.PostFlashCrowd {
+			for piece := 0; piece < opt.Pieces; piece++ {
+				if s.r.Bool(0.5) {
+					p.have.set(piece)
+					p.haveCount++
+				}
+			}
+			if p.haveCount == opt.Pieces {
+				p.done = true
+				p.doneRound = 0
+			}
+		}
+		s.peers = append(s.peers, p)
+	}
+	s.rank = bandwidthRanks(s.peers)
+	s.wireNeighbors()
+	return s, nil
+}
+
+// bandwidthRanks returns rank[i] = position of peer i when sorted by
+// decreasing capacity (ties broken by id, keeping ranks strict).
+func bandwidthRanks(peers []*peer) []int {
+	order := make([]int, len(peers))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by (capacity desc, id asc): population sizes are
+	// simulation-scale and this avoids importing sort for a closure alloc
+	// in the hot path. n log n vs n² is irrelevant at construction time.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := peers[order[j-1]], peers[order[j]]
+			if a.capacity > b.capacity || (a.capacity == b.capacity && a.id < b.id) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	rank := make([]int, len(peers))
+	for pos, id := range order {
+		rank[id] = pos
+	}
+	return rank
+}
+
+// wireNeighbors gives every peer NeighborCount random distinct neighbors
+// (symmetric: if the tracker introduces a to b, both know each other).
+func (s *Swarm) wireNeighbors() {
+	n := len(s.peers)
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = make(map[int]struct{}, s.opt.NeighborCount*2)
+	}
+	for i := 0; i < n; i++ {
+		for len(adj[i]) < s.opt.NeighborCount && len(adj[i]) < n-1 {
+			j := s.r.Intn(n)
+			if j == i {
+				continue
+			}
+			adj[i][j] = struct{}{}
+			adj[j][i] = struct{}{}
+		}
+	}
+	for i, set := range adj {
+		p := s.peers[i]
+		p.neighbors = make([]int, 0, len(set))
+		for j := range set {
+			p.neighbors = append(p.neighbors, j)
+		}
+		// Deterministic order: sort ascending (insertion, small lists).
+		for a := 1; a < len(p.neighbors); a++ {
+			for b := a; b > 0 && p.neighbors[b-1] > p.neighbors[b]; b-- {
+				p.neighbors[b-1], p.neighbors[b] = p.neighbors[b], p.neighbors[b-1]
+			}
+		}
+		k := len(p.neighbors)
+		p.recvWindow = make([]float64, k)
+		p.recvRate = make([]float64, k)
+		p.unchoked = make([]bool, k)
+		p.inflight = make([]int, k)
+		for idx := range p.inflight {
+			p.inflight[idx] = -1
+		}
+		for _, j := range p.neighbors {
+			q := s.peers[j]
+			for piece := 0; piece < s.opt.Pieces; piece++ {
+				if q.have.has(piece) {
+					p.avail[piece]++
+				}
+			}
+		}
+	}
+}

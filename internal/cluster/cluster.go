@@ -1,0 +1,158 @@
+// Package cluster analyzes the structure of stable collaboration graphs:
+// connected components ("clusters") and rank locality ("stratification"),
+// the subjects of the paper's Section 4, Table 1 and Figures 4–6.
+//
+// The central stratification statistic is the Mean Max Offset (MMO): the
+// average, over peers with at least one mate, of the largest rank distance
+// between a peer and its collaboration-graph neighbors. Small MMO means
+// peers only ever talk to peers of nearly identical rank — strong
+// stratification — even when the clusters themselves are huge.
+package cluster
+
+import (
+	"stratmatch/internal/core"
+	"stratmatch/internal/rng"
+)
+
+// Report summarizes the cluster and stratification structure of a stable
+// configuration.
+type Report struct {
+	// Peers is the population size n.
+	Peers int
+	// Matched is the number of peers with at least one mate.
+	Matched int
+	// Components is the number of connected components among matched peers
+	// (isolated peers are not counted as components).
+	Components int
+	// MeanClusterSize is Matched / Components — the paper's "Average
+	// Cluster Size" (0 when there are no components).
+	MeanClusterSize float64
+	// MaxClusterSize is the size of the largest component.
+	MaxClusterSize int
+	// MMO is the Mean Max Offset over matched peers.
+	MMO float64
+}
+
+// Analyze computes the cluster report of a configuration.
+func Analyze(c *core.Config) Report {
+	n := c.N()
+	rep := Report{Peers: n}
+
+	// Union-find over the collaboration edges.
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+
+	var mmoSum int64
+	for p := 0; p < n; p++ {
+		mates := c.Mates(p)
+		if len(mates) == 0 {
+			continue
+		}
+		rep.Matched++
+		best, worst := mates[0], mates[len(mates)-1]
+		off := p - best
+		if worst-p > off {
+			off = worst - p
+		}
+		mmoSum += int64(off)
+		for _, q := range mates {
+			if q > p {
+				union(p, q)
+			}
+		}
+	}
+	if rep.Matched == 0 {
+		return rep
+	}
+	rep.MMO = float64(mmoSum) / float64(rep.Matched)
+
+	seen := make(map[int]struct{})
+	for p := 0; p < n; p++ {
+		if c.Degree(p) == 0 {
+			continue
+		}
+		root := find(p)
+		if _, ok := seen[root]; ok {
+			continue
+		}
+		seen[root] = struct{}{}
+		rep.Components++
+		if size[root] > rep.MaxClusterSize {
+			rep.MaxClusterSize = size[root]
+		}
+	}
+	rep.MeanClusterSize = float64(rep.Matched) / float64(rep.Components)
+	return rep
+}
+
+// MMOClosedForm returns the exact Mean Max Offset of constant b0-matching on
+// a complete graph whose size is a multiple of b0+1: the average over one
+// (b0+1)-clique of each member's distance to its farthest clique-mate,
+//
+//	MMO(b0) = (Σ_{i=0}^{b0} max(i, b0−i)) / (b0+1),
+//
+// which converges to 3·b0/4 (the paper's Section 4.2 formula).
+func MMOClosedForm(b0 int) float64 {
+	if b0 <= 0 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i <= b0; i++ {
+		off := i
+		if b0-i > off {
+			off = b0 - i
+		}
+		sum += off
+	}
+	return float64(sum) / float64(b0+1)
+}
+
+// MMOLimit is the asymptote of MMOClosedForm: 3·b0/4.
+func MMOLimit(b0 int) float64 { return 0.75 * float64(b0) }
+
+// NormalBudgets samples n slot budgets from the rounded positive normal
+// N(mean, sigma²) — the paper's variable b-matching model.
+func NormalBudgets(n int, mean, sigma float64, r *rng.RNG) []int {
+	budgets := make([]int, n)
+	for i := range budgets {
+		budgets[i] = r.RoundedPositiveNormal(mean, sigma)
+	}
+	return budgets
+}
+
+// AnalyzeNormal builds the stable configuration on the complete graph with
+// N(mean, sigma²) budgets and returns its cluster report. It is the unit of
+// work behind Table 1's right half and Figure 6.
+func AnalyzeNormal(n int, mean, sigma float64, r *rng.RNG) Report {
+	return Analyze(core.StableComplete(NormalBudgets(n, mean, sigma, r)))
+}
+
+// AnalyzeConstant builds the stable configuration of constant b0-matching on
+// the complete graph of n peers and returns its cluster report (Table 1's
+// left half).
+func AnalyzeConstant(n, b0 int) Report {
+	return Analyze(core.StableCompleteUniform(n, b0))
+}

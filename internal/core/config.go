@@ -1,0 +1,294 @@
+// Package core implements the paper's primary contribution: stable
+// b-matching under a global ranking.
+//
+// Peers are identified by their global rank 0 .. n−1, with rank 0 the best
+// peer (the paper labels peers 1 .. n with 1 the best; the convention is
+// shifted by one but otherwise identical). Every peer p has a slot budget
+// b(p) ≥ 0 bounding how many simultaneous collaborations it may hold. A
+// Config is a b-matching on the acceptance graph: a set of collaboration
+// edges respecting every budget.
+//
+// Under global ranking each peer prefers lower-ranked (better) mates, the
+// preference lists have no cycles, and exactly one stable configuration
+// exists (Tan 1991, as invoked by the paper). Stable computes it directly
+// (the paper's Algorithm 1); the dynamics package reaches it through
+// decentralized initiatives (Theorem 1).
+package core
+
+import (
+	"fmt"
+
+	"stratmatch/internal/graph"
+	"stratmatch/internal/ints"
+)
+
+// Config is a b-matching: each peer's current collaborators ("mates"),
+// bounded per peer by the slot budget. Mate lists are kept sorted in
+// increasing rank, so Mates(p)[0] is p's best current mate.
+//
+// Config is not safe for concurrent mutation; simulations own one Config
+// per goroutine or serialize access.
+type Config struct {
+	budget []int
+	mates  [][]int
+}
+
+// NewConfig returns an empty configuration for peers with the given slot
+// budgets. The slice is copied; budgets must be non-negative.
+func NewConfig(budget []int) *Config {
+	for i, b := range budget {
+		if b < 0 {
+			panic(fmt.Sprintf("core: negative budget %d for peer %d", b, i))
+		}
+	}
+	return &Config{
+		budget: append([]int(nil), budget...),
+		mates:  make([][]int, len(budget)),
+	}
+}
+
+// NewUniformConfig returns an empty configuration where every one of the n
+// peers has the same slot budget b0 (the paper's "constant b0-matching").
+func NewUniformConfig(n, b0 int) *Config {
+	budget := make([]int, n)
+	for i := range budget {
+		budget[i] = b0
+	}
+	return NewConfig(budget)
+}
+
+// N is the number of peers.
+func (c *Config) N() int { return len(c.budget) }
+
+// Budget returns b(p), peer p's slot budget.
+func (c *Config) Budget(p int) int { return c.budget[p] }
+
+// SetBudget changes b(p). Shrinking below the current degree drops p's worst
+// mates until the budget is respected; the dropped mates are returned.
+func (c *Config) SetBudget(p, b int) (dropped []int) {
+	if b < 0 {
+		panic(fmt.Sprintf("core: negative budget %d for peer %d", b, p))
+	}
+	c.budget[p] = b
+	for len(c.mates[p]) > b {
+		w := c.mates[p][len(c.mates[p])-1]
+		c.Unmatch(p, w)
+		dropped = append(dropped, w)
+	}
+	return dropped
+}
+
+// Degree returns the number of current mates of p.
+func (c *Config) Degree(p int) int { return len(c.mates[p]) }
+
+// Free reports whether p has at least one unused slot.
+func (c *Config) Free(p int) bool { return len(c.mates[p]) < c.budget[p] }
+
+// Mates returns p's current mates in increasing rank order. The caller must
+// not modify the returned slice.
+func (c *Config) Mates(p int) []int { return c.mates[p] }
+
+// Matched reports whether i and j currently collaborate.
+func (c *Config) Matched(i, j int) bool { return ints.Contains(c.mates[i], j) }
+
+// Mate returns the single mate of p in a 1-matching, or −1 when p is
+// unmatched. It panics if p holds more than one mate, because the paper's
+// distance metric σ(C, i) is only defined for 1-matchings.
+func (c *Config) Mate(p int) int {
+	switch len(c.mates[p]) {
+	case 0:
+		return -1
+	case 1:
+		return c.mates[p][0]
+	default:
+		panic(fmt.Sprintf("core: Mate(%d) on peer with %d mates", p, len(c.mates[p])))
+	}
+}
+
+// WorstMate returns p's worst (highest-rank) current mate, or −1 when p has
+// none.
+func (c *Config) WorstMate(p int) int {
+	if len(c.mates[p]) == 0 {
+		return -1
+	}
+	return c.mates[p][len(c.mates[p])-1]
+}
+
+// BestMate returns p's best (lowest-rank) current mate, or −1 when p has
+// none.
+func (c *Config) BestMate(p int) int {
+	if len(c.mates[p]) == 0 {
+		return -1
+	}
+	return c.mates[p][0]
+}
+
+// Match records the collaboration {i, j}. It returns an error if the pair is
+// degenerate, already matched, or either side has no free slot; use Propose
+// for blocking-pair semantics that drop worst mates instead.
+func (c *Config) Match(i, j int) error {
+	switch {
+	case i == j:
+		return fmt.Errorf("core: match %d with itself", i)
+	case i < 0 || j < 0 || i >= c.N() || j >= c.N():
+		return fmt.Errorf("core: match %d-%d out of range [0,%d)", i, j, c.N())
+	case c.Matched(i, j):
+		return fmt.Errorf("core: %d-%d already matched", i, j)
+	case !c.Free(i):
+		return fmt.Errorf("core: peer %d has no free slot", i)
+	case !c.Free(j):
+		return fmt.Errorf("core: peer %d has no free slot", j)
+	}
+	c.mates[i] = ints.Insert(c.mates[i], j)
+	c.mates[j] = ints.Insert(c.mates[j], i)
+	return nil
+}
+
+// Unmatch removes the collaboration {i, j} if present and reports whether it
+// existed.
+func (c *Config) Unmatch(i, j int) bool {
+	if !c.Matched(i, j) {
+		return false
+	}
+	c.mates[i] = ints.Remove(c.mates[i], j)
+	c.mates[j] = ints.Remove(c.mates[j], i)
+	return true
+}
+
+// Isolate removes every collaboration of p (peer departure). The former
+// mates are returned so churn can wake them for new initiatives.
+func (c *Config) Isolate(p int) []int {
+	old := ints.Clone(c.mates[p])
+	for _, m := range old {
+		c.Unmatch(p, m)
+	}
+	return old
+}
+
+// Wants reports whether p strictly prefers adding q over its current
+// situation: either p has a free slot, or q outranks p's worst mate. It does
+// not consult the acceptance graph.
+func (c *Config) Wants(p, q int) bool {
+	if p == q {
+		return false
+	}
+	if c.Free(p) {
+		return c.budget[p] > 0
+	}
+	return q < c.WorstMate(p)
+}
+
+// Propose executes the blocking pair {i, j}: both sides drop their worst
+// mate if full, then match. It returns the peers that lost a mate in the
+// process (at most one per side). Calling Propose on a non-blocking pair
+// corrupts nothing but may degrade a peer, so callers check IsBlockingPair
+// first; Propose verifies only capacity invariants.
+func (c *Config) Propose(i, j int) (dropped []int) {
+	if c.Matched(i, j) || i == j {
+		return nil
+	}
+	if !c.Free(i) {
+		w := c.WorstMate(i)
+		c.Unmatch(i, w)
+		dropped = append(dropped, w)
+	}
+	if !c.Free(j) {
+		w := c.WorstMate(j)
+		c.Unmatch(j, w)
+		dropped = append(dropped, w)
+	}
+	if err := c.Match(i, j); err != nil {
+		// Both sides were just given a free slot (or had one); a failure
+		// here is a programming error, not a runtime condition.
+		panic(err)
+	}
+	return dropped
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	cp := &Config{
+		budget: append([]int(nil), c.budget...),
+		mates:  make([][]int, len(c.mates)),
+	}
+	for i, m := range c.mates {
+		cp.mates[i] = ints.Clone(m)
+	}
+	return cp
+}
+
+// Equal reports whether two configurations have identical mate sets. Budgets
+// are not compared: two configs over the same peers are equal iff they pair
+// the same peers.
+func (c *Config) Equal(o *Config) bool {
+	if c.N() != o.N() {
+		return false
+	}
+	for i := range c.mates {
+		if !ints.Equal(c.mates[i], o.mates[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalEdges returns the number of collaborations in the configuration.
+func (c *Config) TotalEdges() int {
+	total := 0
+	for _, m := range c.mates {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// TotalSlots returns B = Σ b(p), the maximal number of connection endpoints
+// (Theorem 1 bounds convergence by B/2 initiatives).
+func (c *Config) TotalSlots() int {
+	total := 0
+	for _, b := range c.budget {
+		total += b
+	}
+	return total
+}
+
+// CollabGraph converts the configuration to a graph.Adjacency so the cluster
+// package can analyze components and offsets of the collaboration graph.
+func (c *Config) CollabGraph() *graph.Adjacency {
+	g := graph.NewAdjacency(c.N())
+	for i, m := range c.mates {
+		for _, j := range m {
+			if j > i {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// Validate checks internal invariants (budgets respected, symmetry, sorted
+// mate lists, no self-loops) and returns a descriptive error on the first
+// violation. Tests and simulations call it after mutation batches.
+func (c *Config) Validate() error {
+	for p, m := range c.mates {
+		if len(m) > c.budget[p] {
+			return fmt.Errorf("core: peer %d has %d mates, budget %d", p, len(m), c.budget[p])
+		}
+		prev := -1
+		for _, q := range m {
+			if q <= prev {
+				return fmt.Errorf("core: peer %d mate list unsorted: %v", p, m)
+			}
+			prev = q
+			if q == p {
+				return fmt.Errorf("core: peer %d matched with itself", p)
+			}
+			if q < 0 || q >= c.N() {
+				return fmt.Errorf("core: peer %d matched out of range: %d", p, q)
+			}
+			if !ints.Contains(c.mates[q], p) {
+				return fmt.Errorf("core: asymmetric match %d-%d", p, q)
+			}
+		}
+	}
+	return nil
+}

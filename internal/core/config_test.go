@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"stratmatch/internal/graph"
+)
+
+func TestNewConfigBudgets(t *testing.T) {
+	c := NewConfig([]int{2, 0, 3})
+	if c.N() != 3 {
+		t.Fatalf("N = %d", c.N())
+	}
+	if c.Budget(0) != 2 || c.Budget(1) != 0 || c.Budget(2) != 3 {
+		t.Fatal("budgets not stored")
+	}
+	if c.TotalSlots() != 5 {
+		t.Fatalf("TotalSlots = %d", c.TotalSlots())
+	}
+}
+
+func TestNewConfigCopiesBudgets(t *testing.T) {
+	b := []int{1, 1}
+	c := NewConfig(b)
+	b[0] = 99
+	if c.Budget(0) != 1 {
+		t.Fatal("budget slice aliased")
+	}
+}
+
+func TestNewConfigPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative budget")
+		}
+	}()
+	NewConfig([]int{1, -1})
+}
+
+func TestMatchUnmatch(t *testing.T) {
+	c := NewUniformConfig(4, 1)
+	if err := c.Match(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Matched(0, 2) || !c.Matched(2, 0) {
+		t.Fatal("match not symmetric")
+	}
+	if c.Mate(0) != 2 || c.Mate(2) != 0 {
+		t.Fatal("Mate wrong")
+	}
+	if c.Mate(1) != -1 {
+		t.Fatal("unmatched peer has a mate")
+	}
+	if err := c.Match(0, 2); err == nil {
+		t.Fatal("re-match allowed")
+	}
+	if err := c.Match(0, 3); err == nil {
+		t.Fatal("over-budget match allowed")
+	}
+	if err := c.Match(1, 1); err == nil {
+		t.Fatal("self-match allowed")
+	}
+	if err := c.Match(1, 7); err == nil {
+		t.Fatal("out-of-range match allowed")
+	}
+	if !c.Unmatch(0, 2) {
+		t.Fatal("unmatch failed")
+	}
+	if c.Unmatch(0, 2) {
+		t.Fatal("double unmatch reported true")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatesSortedAndWorstBest(t *testing.T) {
+	c := NewUniformConfig(6, 3)
+	for _, j := range []int{5, 1, 3} {
+		if err := c.Match(0, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := c.Mates(0)
+	if len(m) != 3 || m[0] != 1 || m[1] != 3 || m[2] != 5 {
+		t.Fatalf("mates = %v", m)
+	}
+	if c.BestMate(0) != 1 || c.WorstMate(0) != 5 {
+		t.Fatal("best/worst wrong")
+	}
+	if c.Degree(0) != 3 || c.Free(0) {
+		t.Fatal("degree/free wrong")
+	}
+}
+
+func TestMatePanicsOnBMatching(t *testing.T) {
+	c := NewUniformConfig(3, 2)
+	mustMatch(t, c, 0, 1)
+	mustMatch(t, c, 0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mate on b-matching did not panic")
+		}
+	}()
+	c.Mate(0)
+}
+
+func TestWants(t *testing.T) {
+	c := NewUniformConfig(5, 1)
+	if !c.Wants(0, 3) {
+		t.Fatal("free peer should want anyone")
+	}
+	mustMatch(t, c, 0, 3)
+	if !c.Wants(0, 2) {
+		t.Fatal("peer should want better than worst mate")
+	}
+	if c.Wants(0, 4) {
+		t.Fatal("peer should not want worse than worst mate")
+	}
+	if c.Wants(0, 0) {
+		t.Fatal("peer wants itself")
+	}
+	z := NewUniformConfig(2, 0)
+	if z.Wants(0, 1) {
+		t.Fatal("zero-budget peer wants a mate")
+	}
+}
+
+func TestProposeDropsWorst(t *testing.T) {
+	c := NewUniformConfig(6, 1)
+	mustMatch(t, c, 2, 5)
+	mustMatch(t, c, 3, 4)
+	// 2 and 3 prefer each other over their current mates.
+	dropped := c.Propose(2, 3)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped = %v", dropped)
+	}
+	if !c.Matched(2, 3) || c.Matched(2, 5) || c.Matched(3, 4) {
+		t.Fatal("propose did not rewire")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Propose(2, 3); d != nil {
+		t.Fatal("propose on matched pair should be a no-op")
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	c := NewUniformConfig(4, 2)
+	mustMatch(t, c, 0, 1)
+	mustMatch(t, c, 0, 2)
+	old := c.Isolate(0)
+	if len(old) != 2 {
+		t.Fatalf("old mates %v", old)
+	}
+	if c.Degree(0) != 0 || c.Matched(1, 0) || c.Matched(2, 0) {
+		t.Fatal("isolate left edges")
+	}
+}
+
+func TestSetBudgetShrink(t *testing.T) {
+	c := NewUniformConfig(5, 3)
+	mustMatch(t, c, 0, 1)
+	mustMatch(t, c, 0, 3)
+	mustMatch(t, c, 0, 4)
+	dropped := c.SetBudget(0, 1)
+	if len(dropped) != 2 {
+		t.Fatalf("dropped %v", dropped)
+	}
+	if dropped[0] != 4 || dropped[1] != 3 {
+		t.Fatalf("dropped worst-first expected, got %v", dropped)
+	}
+	if c.Degree(0) != 1 || c.WorstMate(0) != 1 {
+		t.Fatal("kept wrong mate")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	c := NewUniformConfig(4, 1)
+	mustMatch(t, c, 0, 1)
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone not equal")
+	}
+	mustMatch(t, d, 2, 3)
+	if c.Equal(d) {
+		t.Fatal("diverged clones equal")
+	}
+	if c.Matched(2, 3) {
+		t.Fatal("clone aliased")
+	}
+}
+
+func TestCollabGraph(t *testing.T) {
+	c := NewUniformConfig(4, 2)
+	mustMatch(t, c, 0, 1)
+	mustMatch(t, c, 1, 2)
+	g := c.CollabGraph()
+	if g.EdgeCount() != 2 || !g.Acceptable(0, 1) || !g.Acceptable(1, 2) {
+		t.Fatal("collab graph wrong")
+	}
+	if c.TotalEdges() != 2 {
+		t.Fatalf("TotalEdges = %d", c.TotalEdges())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	c := NewUniformConfig(3, 1)
+	mustMatch(t, c, 0, 1)
+	// Corrupt: symmetric removal bypassed.
+	c.mates[1] = nil
+	if err := c.Validate(); err == nil {
+		t.Fatal("validate missed asymmetry")
+	}
+}
+
+func mustMatch(t *testing.T, c *Config, i, j int) {
+	t.Helper()
+	if err := c.Match(i, j); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustStable(t *testing.T, c *Config, g graph.Graph) {
+	t.Helper()
+	if i, j := FindBlockingPair(c, g); i >= 0 {
+		t.Fatalf("blocking pair (%d, %d)", i, j)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+func TestDistanceEmptyToPerfect(t *testing.T) {
+	// The paper normalizes D so that the distance between a complete
+	// 1-matching and the empty configuration is exactly 1.
+	for _, n := range []int{2, 4, 10, 100} {
+		g := graph.NewComplete(n)
+		full := StableUniform(g, 1)
+		empty := NewUniformConfig(n, 1)
+		if d := Distance(full, empty); math.Abs(d-1) > 1e-12 {
+			t.Fatalf("n=%d: D(full, empty) = %v, want 1", n, d)
+		}
+	}
+}
+
+func TestDistanceIdentity(t *testing.T) {
+	g := graph.NewComplete(8)
+	c := StableUniform(g, 1)
+	if d := Distance(c, c); d != 0 {
+		t.Fatalf("D(c,c) = %v", d)
+	}
+	if d := Distance(c, c.Clone()); d != 0 {
+		t.Fatalf("D(c, clone) = %v", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 10
+		g := graph.ErdosRenyiMeanDegree(n, 4, r)
+		c1 := StableUniform(g, 1)
+		c2 := NewUniformConfig(n, 1)
+		if g.Acceptable(0, 1) {
+			_ = c2.Match(0, 1)
+		}
+		return Distance(c1, c2) == Distance(c2, c1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	// D is a sum of per-slot absolute differences, so the triangle
+	// inequality must hold; verify on random triples.
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 12
+		g := graph.NewComplete(n)
+		mk := func() *Config {
+			c := NewUniformConfig(n, 1)
+			for k := 0; k < n; k++ {
+				i, j := r.Intn(n), r.Intn(n)
+				if i != j && c.Free(i) && c.Free(j) && !c.Matched(i, j) {
+					_ = c.Match(i, j)
+				}
+			}
+			return c
+		}
+		a, b, cc := mk(), mk(), mk()
+		_ = g
+		return Distance(a, cc) <= Distance(a, b)+Distance(b, cc)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceDifferentSizesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for size mismatch")
+		}
+	}()
+	Distance(NewUniformConfig(3, 1), NewUniformConfig(4, 1))
+}
+
+func TestDistanceZeroPeers(t *testing.T) {
+	if d := Distance(NewUniformConfig(0, 1), NewUniformConfig(0, 1)); d != 0 {
+		t.Fatalf("D on empty population = %v", d)
+	}
+	if d := Distance(NewUniformConfig(3, 0), NewUniformConfig(3, 0)); d != 0 {
+		t.Fatalf("D with zero budgets = %v", d)
+	}
+}
+
+func TestDistanceSingleSwap(t *testing.T) {
+	// Moving one peer's mate by one rank changes D by 2·2/(n(n+1)):
+	// both endpoints' σ change by 1.
+	const n = 6
+	c1 := NewUniformConfig(n, 1)
+	c2 := NewUniformConfig(n, 1)
+	mustMatch(t, c1, 0, 1)
+	mustMatch(t, c2, 0, 2)
+	// c1: σ(0)=1, σ(1)=0, σ(2)=n. c2: σ(0)=2, σ(1)=n, σ(2)=0.
+	want := float64(1+(n-0)+(n-0)) * 2 / float64(n*(n+1))
+	if d := Distance(c1, c2); math.Abs(d-want) > 1e-12 {
+		t.Fatalf("D = %v, want %v", d, want)
+	}
+}
+
+func TestDistanceBMatchingNormalization(t *testing.T) {
+	// For b-matchings the full-vs-empty distance stays 1 when every slot is
+	// used symmetrically: complete graph, n divisible by b0+1.
+	g := graph.NewComplete(6)
+	full := StableUniform(g, 2) // two 3-cliques, every slot used
+	empty := NewUniformConfig(6, 2)
+	d := Distance(full, empty)
+	if d <= 0 || d > 1 {
+		t.Fatalf("D(full,empty) = %v, want in (0,1]", d)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+// Strategy selects the mate a peer proposes to when it takes the initiative.
+// The three implementations mirror the paper's Section 3 taxonomy, ordered
+// by how much knowledge they assume about the neighborhood:
+//
+//   - BestMate: p knows the rank and willingness of every acceptable peer
+//     and proposes to the best blocking mate.
+//   - Decremental: p knows ranks but not willingness; it scans its
+//     acceptance list circularly from the last asked position.
+//   - Random: p knows nothing and probes one random acceptable peer.
+type Strategy interface {
+	// Propose returns the peer that p proposes to, or −1 when the strategy
+	// finds no blocking mate this turn.
+	Propose(c *Config, g graph.Graph, p int) int
+}
+
+// BestMateStrategy proposes to the best available blocking mate. It is
+// stateless, so the zero value is ready to use.
+type BestMateStrategy struct{}
+
+var _ Strategy = BestMateStrategy{}
+
+// Propose implements Strategy.
+func (BestMateStrategy) Propose(c *Config, g graph.Graph, p int) int {
+	return BestBlockingMate(c, g, p)
+}
+
+// DecrementalStrategy scans each peer's acceptance list circularly, resuming
+// from the position after the previously asked peer, and proposes to the
+// first blocking mate encountered. One call asks at most one full cycle.
+type DecrementalStrategy struct {
+	cursor []int
+}
+
+var _ Strategy = (*DecrementalStrategy)(nil)
+
+// NewDecrementalStrategy returns a strategy with fresh cursors for n peers.
+func NewDecrementalStrategy(n int) *DecrementalStrategy {
+	return &DecrementalStrategy{cursor: make([]int, n)}
+}
+
+// Propose implements Strategy.
+func (s *DecrementalStrategy) Propose(c *Config, g graph.Graph, p int) int {
+	nb := g.Neighbors(p)
+	if len(nb) == 0 || c.Budget(p) == 0 {
+		return -1
+	}
+	start := s.cursor[p] % len(nb)
+	for k := 0; k < len(nb); k++ {
+		idx := (start + k) % len(nb)
+		q := nb[idx]
+		if IsBlockingPair(c, g, p, q) {
+			s.cursor[p] = (idx + 1) % len(nb)
+			return q
+		}
+	}
+	return -1
+}
+
+// RandomStrategy probes a single uniformly random acceptable peer per
+// initiative; the initiative is active only if that peer happens to block.
+type RandomStrategy struct {
+	r *rng.RNG
+}
+
+var _ Strategy = (*RandomStrategy)(nil)
+
+// NewRandomStrategy returns a random-probe strategy drawing from r.
+func NewRandomStrategy(r *rng.RNG) *RandomStrategy {
+	return &RandomStrategy{r: r}
+}
+
+// Propose implements Strategy.
+func (s *RandomStrategy) Propose(c *Config, g graph.Graph, p int) int {
+	nb := g.Neighbors(p)
+	if len(nb) == 0 || c.Budget(p) == 0 {
+		return -1
+	}
+	q := nb[s.r.Intn(len(nb))]
+	if IsBlockingPair(c, g, p, q) {
+		return q
+	}
+	return -1
+}
+
+// Initiative lets peer p take one initiative with strategy s on
+// configuration c. It returns whether the initiative was active (modified
+// the configuration) and the peers that lost a mate as a consequence.
+func Initiative(c *Config, g graph.Graph, p int, s Strategy) (active bool, dropped []int) {
+	q := s.Propose(c, g, p)
+	if q < 0 {
+		return false, nil
+	}
+	return true, c.Propose(p, q)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+func TestBestMateStrategyReachesStable(t *testing.T) {
+	r := rng.New(1)
+	g := graph.ErdosRenyiMeanDegree(200, 8, r)
+	want := StableUniform(g, 1)
+	c := NewUniformConfig(200, 1)
+	s := BestMateStrategy{}
+	for rounds := 0; rounds < 200*50 && !c.Equal(want); rounds++ {
+		p := r.Intn(200)
+		_, _ = Initiative(c, g, p, s)
+	}
+	if !c.Equal(want) {
+		t.Fatal("best-mate initiatives did not reach the stable configuration")
+	}
+	mustStable(t, c, g)
+}
+
+func TestDecrementalStrategyReachesStable(t *testing.T) {
+	r := rng.New(2)
+	g := graph.ErdosRenyiMeanDegree(150, 6, r)
+	want := StableUniform(g, 1)
+	c := NewUniformConfig(150, 1)
+	s := NewDecrementalStrategy(150)
+	for rounds := 0; rounds < 150*100 && !c.Equal(want); rounds++ {
+		_, _ = Initiative(c, g, r.Intn(150), s)
+	}
+	if !c.Equal(want) {
+		t.Fatal("decremental initiatives did not reach the stable configuration")
+	}
+}
+
+func TestRandomStrategyReachesStable(t *testing.T) {
+	r := rng.New(3)
+	g := graph.ErdosRenyiMeanDegree(100, 6, r)
+	want := StableUniform(g, 1)
+	c := NewUniformConfig(100, 1)
+	s := NewRandomStrategy(r.Split())
+	for rounds := 0; rounds < 100*500 && !c.Equal(want); rounds++ {
+		_, _ = Initiative(c, g, r.Intn(100), s)
+	}
+	if !c.Equal(want) {
+		t.Fatal("random initiatives did not reach the stable configuration")
+	}
+}
+
+func TestInitiativeOnStableIsInactive(t *testing.T) {
+	r := rng.New(4)
+	g := graph.ErdosRenyiMeanDegree(80, 5, r)
+	c := StableUniform(g, 2)
+	strategies := []Strategy{
+		BestMateStrategy{},
+		NewDecrementalStrategy(80),
+		NewRandomStrategy(r.Split()),
+	}
+	for _, s := range strategies {
+		for p := 0; p < 80; p++ {
+			if active, _ := Initiative(c, g, p, s); active {
+				t.Fatalf("%T: active initiative on stable config (peer %d)", s, p)
+			}
+		}
+	}
+}
+
+func TestInitiativeEmptyNeighborhood(t *testing.T) {
+	g := graph.NewAdjacency(3)
+	c := NewUniformConfig(3, 1)
+	for _, s := range []Strategy{
+		BestMateStrategy{},
+		NewDecrementalStrategy(3),
+		NewRandomStrategy(rng.New(1)),
+	} {
+		if active, _ := Initiative(c, g, 0, s); active {
+			t.Fatalf("%T active with no neighbors", s)
+		}
+	}
+}
+
+// TestTheorem1Bound verifies the first half of Theorem 1: the stable
+// configuration is reachable within B/2 active initiatives, where
+// B = Σ b(p). The witnessing schedule replays Algorithm 1's connections
+// best-peer-first via best-mate initiatives.
+func TestTheorem1Bound(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := 2 + int(nRaw%50)
+		g := graph.ErdosRenyiMeanDegree(n, 6, r)
+		want := StableUniform(g, 2)
+		c := NewUniformConfig(n, 2)
+		budgetSum := c.TotalSlots()
+		active := 0
+		// Best-peer-first schedule: each best-mate initiative by peer p
+		// re-creates one stable edge and never breaks a stable one.
+		for p := 0; p < n; p++ {
+			for {
+				ok, _ := Initiative(c, g, p, BestMateStrategy{})
+				if !ok {
+					break
+				}
+				active++
+			}
+		}
+		return c.Equal(want) && active <= budgetSum/2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1Termination verifies the second half of Theorem 1: any
+// sequence of active initiatives terminates at the stable configuration —
+// no cycles are possible under a global ranking.
+func TestTheorem1Termination(t *testing.T) {
+	check := func(seed uint64, nRaw uint8) bool {
+		r := rng.New(seed)
+		n := 2 + int(nRaw%30)
+		g := graph.ErdosRenyiMeanDegree(n, 5, r)
+		want := StableUniform(g, 1)
+		c := NewUniformConfig(n, 1)
+		s := NewRandomStrategy(r.Split())
+		limit := 1000 * n // far above any plausible mixing time
+		for k := 0; k < limit; k++ {
+			_, _ = Initiative(c, g, r.Intn(n), s)
+			if c.Equal(want) {
+				return true
+			}
+		}
+		return IsStable(c, g) // if not equal it must at least be stable=want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecrementalCursorAdvances(t *testing.T) {
+	g := graph.NewComplete(4)
+	c := NewUniformConfig(4, 1)
+	s := NewDecrementalStrategy(4)
+	q := s.Propose(c, g, 3)
+	if q != 0 {
+		t.Fatalf("first proposal = %d, want 0", q)
+	}
+	c.Propose(3, q)
+	// 3 is now matched with 0; 0 is 3's best possible mate, no more blocks
+	// for 3 until someone steals 0.
+	if q2 := s.Propose(c, g, 3); q2 != -1 {
+		t.Fatalf("second proposal = %d, want -1", q2)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import "stratmatch/internal/graph"
+
+// Stable computes the unique stable configuration of the global-ranking
+// b-matching problem on acceptance graph g with slot budgets b — the
+// paper's Algorithm 1.
+//
+// The greedy construction walks peers from best to worst; each peer grabs
+// the best remaining acceptable peers with free slots. Because every peer it
+// picks gladly accepts (nobody better will ever want them), each connection
+// is stable by induction, and the result is the unique stable configuration.
+//
+// Complexity is O(Σ_p deg(p)) on top of the neighbor scans, i.e. linear in
+// the acceptance graph size.
+func Stable(g graph.Graph, b []int) *Config {
+	c := NewConfig(b)
+	avail := append([]int(nil), b...)
+	for i := 0; i < g.N(); i++ {
+		if avail[i] == 0 {
+			continue
+		}
+		for _, j := range g.Neighbors(i) {
+			// Neighbors are sorted by rank; only look at worse peers —
+			// connections to better peers were made on their turn.
+			if j < i {
+				continue
+			}
+			if avail[j] == 0 {
+				continue
+			}
+			if err := c.Match(i, j); err != nil {
+				panic(err) // invariant: both sides have free slots
+			}
+			avail[i]--
+			avail[j]--
+			if avail[i] == 0 {
+				break
+			}
+		}
+	}
+	return c
+}
+
+// StableUniform computes the stable configuration where every peer has the
+// same budget b0 (constant b0-matching).
+func StableUniform(g graph.Graph, b0 int) *Config {
+	b := make([]int, g.N())
+	for i := range b {
+		b[i] = b0
+	}
+	return Stable(g, b)
+}
+
+// IsBlockingPair reports whether {i, j} blocks configuration c on acceptance
+// graph g: they are acceptable, not matched together, and each side either
+// has a free slot or prefers the other to its worst mate.
+func IsBlockingPair(c *Config, g graph.Graph, i, j int) bool {
+	if i == j || !g.Acceptable(i, j) || c.Matched(i, j) {
+		return false
+	}
+	return c.Wants(i, j) && c.Wants(j, i)
+}
+
+// BestBlockingMate returns the best-ranked peer forming a blocking pair with
+// p, or −1 when p blocks with nobody. This is the "best mate" initiative's
+// scan: it assumes p knows the rank and availability of all its acceptable
+// peers.
+func BestBlockingMate(c *Config, g graph.Graph, p int) int {
+	if c.Budget(p) == 0 {
+		return -1
+	}
+	for _, q := range g.Neighbors(p) {
+		// Neighbors are sorted best-first. Once q is no better than p's
+		// worst mate and p is full, no later neighbor can block either.
+		if !c.Free(p) && q > c.WorstMate(p) {
+			return -1
+		}
+		if IsBlockingPair(c, g, p, q) {
+			return q
+		}
+	}
+	return -1
+}
+
+// FindBlockingPair scans the whole acceptance graph and returns the first
+// blocking pair in lexicographic order, or (−1, −1) if c is stable. Use
+// IsStable when only the boolean is needed.
+func FindBlockingPair(c *Config, g graph.Graph) (int, int) {
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.Neighbors(i) {
+			if j > i && IsBlockingPair(c, g, i, j) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// IsStable reports whether c has no blocking pair on g.
+func IsStable(c *Config, g graph.Graph) bool {
+	i, _ := FindBlockingPair(c, g)
+	return i < 0
+}

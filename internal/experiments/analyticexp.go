@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+
+	"stratmatch/internal/analytic"
+	"stratmatch/internal/stats"
+	"stratmatch/internal/textplot"
+)
+
+// Figure7 reproduces Figure 7: for n = 3 peers the exact matching
+// probabilities versus Algorithm 2's approximation; the only discrepancy is
+// p³(1−p) on the worst pair.
+func Figure7(cfg Config) (*Result, error) {
+	res := &Result{
+		TableHeader: []string{
+			"p", "exact_D12", "exact_D13", "exact_D23", "approx_D23", "error", "p3(1-p)",
+		},
+	}
+	errSeries := textplot.Series{Name: "approx error on D(2,3)"}
+	formula := textplot.Series{Name: "p^3(1-p)"}
+	allMatch := true
+	for p := 0.05; p <= 0.951; p += 0.05 {
+		fig, err := analytic.ComputeFigure7(p)
+		if err != nil {
+			return nil, err
+		}
+		want := math.Pow(p, 3) * (1 - p)
+		if math.Abs(fig.Err-want) > 1e-9 {
+			allMatch = false
+		}
+		res.TableRows = append(res.TableRows, []float64{
+			p, fig.Exact[0][1], fig.Exact[0][2], fig.Exact[1][2], fig.Approx[1][2], fig.Err, want,
+		})
+		errSeries.X = append(errSeries.X, p)
+		errSeries.Y = append(errSeries.Y, fig.Err)
+		formula.X = append(formula.X, p)
+		formula.Y = append(formula.Y, want)
+	}
+	res.Series = []textplot.Series{errSeries, formula}
+	res.Chart = textplot.Chart{XLabel: "p", YLabel: "error"}
+	res.noteCheck(allMatch, "approximation error equals p^3(1-p) for all sampled p")
+	res.note("exact values: D(1,2)=p, D(1,3)=p(1-p), D(2,3)=p(1-p)^2 (paper's 1-based labels)")
+	return res, nil
+}
+
+// Figure8 reproduces Figure 8: mate-rank distributions of peers 200, 2500
+// and 4800 (1-based) in independent 1-matching with n = 5000, p = 0.5%.
+func Figure8(cfg Config) (*Result, error) {
+	n := cfg.scaled(5000)
+	p := 25.0 / float64(n) // keeps d = p·n ≈ 25 as in the paper's 0.5% of 5000
+	peers := []int{n * 200 / 5000, n / 2, n * 4800 / 5000}
+	for i, q := range peers {
+		if q >= n {
+			peers[i] = n - 1
+		}
+	}
+	om, err := analytic.OneMatching(n, p, peers...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Chart: textplot.Chart{XLabel: "mate rank j", YLabel: "D(i, j)"},
+	}
+	for _, q := range peers {
+		s := textplot.Series{Name: seriesName("peer", q)}
+		row := om.Rows[q]
+		for j := 0; j < n; j++ {
+			s.X = append(s.X, float64(j+1))
+			s.Y = append(s.Y, row[j])
+		}
+		res.Series = append(res.Series, s)
+	}
+	// Qualitative checks from the paper's Section 5.3.
+	top := om.Rows[peers[0]]
+	// (a) well-ranked peer: right tail decays ~geometrically.
+	decays := 0
+	for j := peers[0] + 1; j < peers[0]+200 && j+1 < n; j++ {
+		if top[j+1] <= top[j]+1e-15 {
+			decays++
+		}
+	}
+	res.noteCheck(decays > 180, "well-ranked peer: right tail decreasing (%d/199 steps)", decays)
+	// (b) central peer: distribution symmetric around its own rank.
+	mid := om.Rows[peers[1]]
+	var asym, mass float64
+	for off := 1; off < n/10; off++ {
+		lo, hi := peers[1]-off, peers[1]+off
+		if lo < 0 || hi >= n {
+			break
+		}
+		asym += math.Abs(mid[lo] - mid[hi])
+		mass += mid[lo] + mid[hi]
+	}
+	res.noteCheck(asym/mass < 0.1,
+		"central peer: symmetric distribution (asymmetry %.3g of mass)", asym/mass)
+	// (c) worst peers: truncated distribution with unmatched probability.
+	unmatched := om.UnmatchedProb(peers[2])
+	res.noteCheck(unmatched > 0.01,
+		"bottom peer: positive unmatched probability %.3f (the cut blue area)", unmatched)
+	worst := om.MatchProb[n-1]
+	res.noteCheck(math.Abs(worst-0.5) < 0.12,
+		"worst peer matched about half the time: %.3f", worst)
+	res.note("match probabilities: peer %d: %.4f, peer %d: %.4f, peer %d: %.4f",
+		peers[0]+1, om.MatchProb[peers[0]], peers[1]+1, om.MatchProb[peers[1]], peers[2]+1, om.MatchProb[peers[2]])
+	return res, nil
+}
+
+// Figure9 reproduces Figure 9: first- and second-choice distributions of
+// peer 3000 (1-based) for b0 = 2, n = 5000, p = 1% — the independent model
+// versus Monte-Carlo over true stable matchings. The paper drew 10⁶ graphs
+// ("several weeks"); Config.MCSamples controls our sample count.
+func Figure9(cfg Config) (*Result, error) {
+	n := cfg.scaled(5000)
+	p := 50.0 / float64(n) // ~50 expected neighbors, as in the paper
+	if p > 1 {
+		p = 1
+	}
+	peer := 3 * n / 5
+	const b0 = 2
+	bm, err := analytic.BMatching(analytic.BMatchingOptions{
+		N: n, P: p, B0: b0, TrackRows: []int{peer},
+	})
+	if err != nil {
+		return nil, err
+	}
+	mc, err := analytic.MonteCarloChoices(n, p, b0, peer, cfg.mcSamples(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Chart: textplot.Chart{XLabel: "ranking offset", YLabel: "probability"},
+	}
+	choiceNames := []string{"first choice", "second choice"}
+	for c := 0; c < b0; c++ {
+		est := textplot.Series{Name: choiceNames[c] + " estimated"}
+		sim := textplot.Series{Name: choiceNames[c] + " simulated"}
+		for j := 0; j < n; j++ {
+			off := float64(j - peer)
+			est.X = append(est.X, off)
+			est.Y = append(est.Y, bm.Rows[peer][c][j])
+			sim.X = append(sim.X, off)
+			sim.Y = append(sim.Y, mc.ChoiceDist[c][j])
+		}
+		res.Series = append(res.Series, est, sim)
+		// Agreement check via total variation over coarse bins.
+		const bins = 25
+		binned := func(dist []float64) []float64 {
+			out := make([]float64, bins)
+			for j := 0; j < n; j++ {
+				out[j*bins/n] += dist[j]
+			}
+			return out
+		}
+		tv := stats.TotalVariation(binned(bm.Rows[peer][c]), binned(mc.ChoiceDist[c]))
+		res.noteCheck(tv < 0.08,
+			"%s: model vs %d-sample Monte-Carlo TV distance %.4f", choiceNames[c], mc.Samples, tv)
+	}
+	res.note("paper used 10^6 Monte-Carlo draws; this run used %d (seconds instead of weeks)", mc.Samples)
+	return res, nil
+}
+
+// FluidLimit illustrates Conjecture 1 (and Theorems 2–3): the rescaled best-
+// peer mate distribution n·D(0, βn) approaches d·e^{−βd} as n grows.
+func FluidLimit(cfg Config) (*Result, error) {
+	const d = 10.0
+	res := &Result{
+		Chart:       textplot.Chart{XLabel: "beta", YLabel: "density"},
+		TableHeader: []string{"n", "sup_error"},
+	}
+	var supErrors []float64
+	ns := []int{cfg.scaled(500), cfg.scaled(1000), cfg.scaled(4000)}
+	for _, n := range ns {
+		pts, err := analytic.CompareFluid(n, d, 0.5, 50)
+		if err != nil {
+			return nil, err
+		}
+		s := textplot.Series{Name: seriesName("model n=", n)}
+		sup := 0.0
+		for _, pt := range pts {
+			s.X = append(s.X, pt.Beta)
+			s.Y = append(s.Y, pt.Model)
+			if e := math.Abs(pt.Model - pt.Fluid); e > sup {
+				sup = e
+			}
+		}
+		res.Series = append(res.Series, s)
+		supErrors = append(supErrors, sup)
+		res.TableRows = append(res.TableRows, []float64{float64(n), sup})
+	}
+	fluid := textplot.Series{Name: "fluid limit d*exp(-beta*d)"}
+	for k := 1; k <= 50; k++ {
+		beta := 0.5 * float64(k) / 50
+		fluid.X = append(fluid.X, beta)
+		fluid.Y = append(fluid.Y, analytic.FluidDensity(d, beta))
+	}
+	res.Series = append(res.Series, fluid)
+	res.noteCheck(supErrors[len(supErrors)-1] < supErrors[0],
+		"sup error shrinks with n: %v", supErrors)
+	// The finite-size gap is dominated by rank discretization, O(d²/n).
+	tol := math.Max(0.08, 3*d*d/float64(ns[len(ns)-1]))
+	res.noteCheck(supErrors[len(supErrors)-1] < tol,
+		"largest n within %.3f of the fluid limit (sup error %.4f)", tol, supErrors[len(supErrors)-1])
+	return res, nil
+}
+
+func seriesName(prefix string, v int) string {
+	return prefix + " " + strconv.Itoa(v)
+}

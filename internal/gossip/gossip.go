@@ -1,0 +1,190 @@
+// Package gossip implements decentralized rank discovery through a
+// peer-sampling service, the mechanism the paper points at (Jelasity,
+// Guerraoui, Kermarrec) for how a peer learns where it stands in the global
+// ranking without any central authority.
+//
+// Every node knows only its own score. Nodes keep a bounded view of
+// (node, score) samples; each round every node does a push-pull exchange
+// with a random contact from its view, merging views and keeping a random
+// bounded subset. Every sample a node ever observes also feeds a running
+// estimate of its own rank: the observed fraction of strictly better scores,
+// scaled by the population size. With near-uniform sampling the estimate is
+// unbiased and its error shrinks as observations accumulate, which is what
+// makes the paper's global-ranking machinery implementable: initiatives only
+// need each peer's (approximate) rank.
+package gossip
+
+import (
+	"fmt"
+
+	"stratmatch/internal/rng"
+)
+
+// Sample is one gossiped (node, score) pair.
+type Sample struct {
+	ID    int
+	Score float64
+}
+
+type node struct {
+	id    int
+	score float64
+	view  []Sample
+	// Running rank statistics over every observed sample.
+	seen   int
+	better int
+}
+
+// Network is a gossiping population. Create with New, advance with Round.
+type Network struct {
+	nodes    []*node
+	viewSize int
+	r        *rng.RNG
+}
+
+// New builds a gossip network over the given scores. Initial views are
+// drawn uniformly (the bootstrap a tracker or seed list provides).
+func New(scores []float64, viewSize int, seed uint64) (*Network, error) {
+	n := len(scores)
+	if n < 2 {
+		return nil, fmt.Errorf("gossip: population %d too small", n)
+	}
+	if viewSize < 1 || viewSize >= n {
+		return nil, fmt.Errorf("gossip: view size %d out of [1, %d)", viewSize, n)
+	}
+	nw := &Network{viewSize: viewSize, r: rng.New(seed)}
+	nw.nodes = make([]*node, n)
+	for i := range nw.nodes {
+		nw.nodes[i] = &node{id: i, score: scores[i]}
+	}
+	for _, nd := range nw.nodes {
+		for len(nd.view) < viewSize {
+			j := nw.r.Intn(n)
+			if j != nd.id {
+				nd.view = append(nd.view, Sample{ID: j, Score: scores[j]})
+				nd.observe(Sample{ID: j, Score: scores[j]})
+			}
+		}
+	}
+	return nw, nil
+}
+
+// N is the population size.
+func (nw *Network) N() int { return len(nw.nodes) }
+
+func (nd *node) observe(s Sample) {
+	if s.ID == nd.id {
+		return
+	}
+	nd.seen++
+	if s.Score > nd.score {
+		nd.better++
+	}
+}
+
+// Round performs one gossip round: every node, in random order, push-pull
+// exchanges its view with a uniformly random contact from that view.
+func (nw *Network) Round() {
+	order := nw.r.Perm(len(nw.nodes))
+	for _, idx := range order {
+		a := nw.nodes[idx]
+		if len(a.view) == 0 {
+			continue
+		}
+		b := nw.nodes[a.view[nw.r.Intn(len(a.view))].ID]
+		nw.exchange(a, b)
+	}
+}
+
+// exchange merges both views plus each other's descriptor, lets both nodes
+// observe all fresh samples, and truncates both views to a random subset.
+func (nw *Network) exchange(a, b *node) {
+	merged := make([]Sample, 0, len(a.view)+len(b.view)+2)
+	merged = append(merged, a.view...)
+	merged = append(merged, b.view...)
+	merged = append(merged, Sample{ID: a.id, Score: a.score}, Sample{ID: b.id, Score: b.score})
+
+	for _, s := range b.view {
+		a.observe(s)
+	}
+	a.observe(Sample{ID: b.id, Score: b.score})
+	for _, s := range a.view {
+		b.observe(s)
+	}
+	b.observe(Sample{ID: a.id, Score: a.score})
+
+	a.view = nw.subset(merged, a.id)
+	b.view = nw.subset(merged, b.id)
+}
+
+// subset draws a deduplicated random subset of size viewSize excluding self.
+func (nw *Network) subset(samples []Sample, self int) []Sample {
+	seen := make(map[int]Sample, len(samples))
+	ids := make([]int, 0, len(samples))
+	for _, s := range samples {
+		if s.ID == self {
+			continue
+		}
+		if _, ok := seen[s.ID]; !ok {
+			seen[s.ID] = s
+			ids = append(ids, s.ID)
+		}
+	}
+	nw.r.Shuffle(ids)
+	if len(ids) > nw.viewSize {
+		ids = ids[:nw.viewSize]
+	}
+	out := make([]Sample, len(ids))
+	for i, id := range ids {
+		out[i] = seen[id]
+	}
+	return out
+}
+
+// EstimatedRank returns node i's current rank estimate in [0, n−1]: the
+// observed fraction of strictly better peers scaled by n−1. Before any
+// observation it returns the neutral midpoint.
+func (nw *Network) EstimatedRank(i int) float64 {
+	nd := nw.nodes[i]
+	if nd.seen == 0 {
+		return float64(nw.N()-1) / 2
+	}
+	return float64(nd.better) / float64(nd.seen) * float64(nw.N()-1)
+}
+
+// EstimatedRanks returns all current estimates.
+func (nw *Network) EstimatedRanks() []float64 {
+	out := make([]float64, nw.N())
+	for i := range out {
+		out[i] = nw.EstimatedRank(i)
+	}
+	return out
+}
+
+// View returns a copy of node i's current view (for tests and debugging).
+func (nw *Network) View(i int) []Sample {
+	return append([]Sample(nil), nw.nodes[i].view...)
+}
+
+// MeanAbsRankError compares the estimates against the true ranks implied by
+// the score order (trueRank[i] = number of strictly better scores),
+// normalized by n.
+func (nw *Network) MeanAbsRankError() float64 {
+	n := nw.N()
+	var sum float64
+	for i, nd := range nw.nodes {
+		trueBetter := 0
+		for _, other := range nw.nodes {
+			if other.score > nd.score {
+				trueBetter++
+			}
+		}
+		est := nw.EstimatedRank(i)
+		diff := est - float64(trueBetter)
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += diff
+	}
+	return sum / float64(n) / float64(n)
+}

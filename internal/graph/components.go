@@ -1,0 +1,114 @@
+package graph
+
+// Components computes the connected components of g using a union-find with
+// path halving and union by size. The return value maps every peer to a
+// component label in [0, count), labels assigned in order of first
+// appearance by rank.
+func Components(g Graph) (labels []int, count int) {
+	n := g.N()
+	parent := make([]int, n)
+	size := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+		size[i] = 1
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		if size[ra] < size[rb] {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		size[ra] += size[rb]
+	}
+	for i := 0; i < n; i++ {
+		for _, j := range g.Neighbors(i) {
+			if j > i {
+				union(i, j)
+			}
+		}
+	}
+	labels = make([]int, n)
+	next := 0
+	first := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		root := find(i)
+		lbl, ok := first[root]
+		if !ok {
+			lbl = next
+			first[root] = lbl
+			next++
+		}
+		labels[i] = lbl
+	}
+	return labels, next
+}
+
+// ComponentSizes returns the size of each component, indexed by the labels
+// produced by Components.
+func ComponentSizes(g Graph) []int {
+	labels, count := Components(g)
+	sizes := make([]int, count)
+	for _, lbl := range labels {
+		sizes[lbl]++
+	}
+	return sizes
+}
+
+// IsConnected reports whether g has a single connected component spanning
+// every peer. The empty graph and the 1-peer graph are connected.
+func IsConnected(g Graph) bool {
+	if g.N() <= 1 {
+		return true
+	}
+	_, count := Components(g)
+	return count == 1
+}
+
+// BFSDistances returns the hop distance from src to every peer, with −1 for
+// unreachable peers.
+func BFSDistances(g Graph, src int) []int {
+	n := g.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the largest finite BFS distance from src, or 0 when
+// src has no reachable peers.
+func Eccentricity(g Graph, src int) int {
+	ecc := 0
+	for _, d := range BFSDistances(g, src) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"math"
+
+	"stratmatch/internal/rng"
+)
+
+// ErdosRenyi samples a loopless symmetric G(n, p) graph: every unordered
+// pair {i, j} is an edge independently with probability p. The result is a
+// mutable Adjacency so churn experiments can detach and re-attach peers.
+//
+// For sparse graphs (p well below 1) the sampler uses geometric edge
+// skipping (Batagelj–Brandes), which runs in O(n + m) instead of O(n²).
+func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
+	g := NewAdjacency(n)
+	switch {
+	case p <= 0 || n < 2:
+		return g
+	case p >= 1:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.AddEdge(i, j)
+			}
+		}
+		return g
+	}
+	// Walk the strictly-lower-triangular adjacency matrix row by row,
+	// skipping ahead by geometrically distributed gaps.
+	logq := math.Log1p(-p)
+	v, w := 1, -1
+	for v < n {
+		u := r.Float64()
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		w += 1 + int(math.Log1p(-u)/logq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			g.AddEdge(v, w)
+		}
+	}
+	return g
+}
+
+// ErdosRenyiMeanDegree samples G(n, d) in the paper's parameterization:
+// d is the expected degree, so each edge exists with probability d/(n−1).
+func ErdosRenyiMeanDegree(n int, d float64, r *rng.RNG) *Adjacency {
+	if n < 2 {
+		return NewAdjacency(n)
+	}
+	return ErdosRenyi(n, d/float64(n-1), r)
+}
+
+// AttachUniform connects peer i to every other currently-attached peer with
+// probability p. It is used by churn to re-introduce a detached peer with a
+// fresh Erdős–Rényi neighborhood.
+func AttachUniform(g *Adjacency, i int, p float64, r *rng.RNG) {
+	for j := 0; j < g.N(); j++ {
+		if j != i && r.Bool(p) {
+			g.AddEdge(i, j)
+		}
+	}
+}

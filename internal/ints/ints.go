@@ -1,0 +1,66 @@
+// Package ints provides sorted-int-slice primitives shared by the adjacency
+// and matching structures. All functions keep slices in strictly increasing
+// order and never store duplicates.
+package ints
+
+// Contains reports whether sorted slice s contains v (binary search).
+func Contains(s []int, v int) bool {
+	i := lowerBound(s, v)
+	return i < len(s) && s[i] == v
+}
+
+// Insert returns s with v inserted at its sorted position. Inserting a value
+// already present returns s unchanged.
+func Insert(s []int, v int) []int {
+	i := lowerBound(s, v)
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Remove returns s with v deleted if present.
+func Remove(s []int, v int) []int {
+	i := lowerBound(s, v)
+	if i >= len(s) || s[i] != v {
+		return s
+	}
+	return append(s[:i], s[i+1:]...)
+}
+
+// Clone returns an independent copy of s (nil stays nil).
+func Clone(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	return append([]int(nil), s...)
+}
+
+// Equal reports whether a and b hold the same elements in the same order.
+func Equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerBound(s []int, v int) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,91 @@
+package ints
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertRemoveContains(t *testing.T) {
+	var s []int
+	for _, v := range []int{5, 1, 9, 5, 3} {
+		s = Insert(s, v)
+	}
+	if !sort.IntsAreSorted(s) {
+		t.Fatalf("not sorted: %v", s)
+	}
+	if len(s) != 4 {
+		t.Fatalf("duplicate stored: %v", s)
+	}
+	for _, v := range []int{1, 3, 5, 9} {
+		if !Contains(s, v) {
+			t.Errorf("missing %d in %v", v, s)
+		}
+	}
+	if Contains(s, 4) {
+		t.Error("phantom 4")
+	}
+	s = Remove(s, 5)
+	if Contains(s, 5) {
+		t.Error("5 survived removal")
+	}
+	s = Remove(s, 100) // absent: no-op
+	if len(s) != 3 {
+		t.Fatalf("remove of absent changed slice: %v", s)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := []int{1, 2, 3}
+	c := Clone(s)
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatal("clone aliases source")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal([]int{1, 2}, []int{1, 2}) {
+		t.Fatal("equal slices reported different")
+	}
+	if Equal([]int{1, 2}, []int{1, 3}) || Equal([]int{1}, []int{1, 2}) {
+		t.Fatal("different slices reported equal")
+	}
+	if !Equal(nil, []int{}) {
+		t.Fatal("nil and empty should be Equal")
+	}
+}
+
+func TestSortedSetProperty(t *testing.T) {
+	// Insert then Remove in arbitrary orders always maintains a sorted,
+	// duplicate-free slice matching a reference map implementation.
+	check := func(ops []int16) bool {
+		var s []int
+		ref := make(map[int]bool)
+		for _, op := range ops {
+			v := int(op) % 50
+			if op%2 == 0 {
+				s = Insert(s, v)
+				ref[v] = true
+			} else {
+				s = Remove(s, v)
+				delete(ref, v)
+			}
+		}
+		if !sort.IntsAreSorted(s) || len(s) != len(ref) {
+			return false
+		}
+		for _, v := range s {
+			if !ref[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

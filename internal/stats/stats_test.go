@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+	if s.Median != 2.5 {
+		t.Fatalf("median %v", s.Median)
+	}
+	if z := Summarize(nil); z.Count != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {75, 40}, {-5, 10}, {105, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%.0f = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile not NaN")
+	}
+	// Percentile must not mutate its input.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ysPos := []float64{2, 4, 6, 8, 10}
+	ysNeg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, ysPos); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect positive correlation: %v", got)
+	}
+	if got := Pearson(xs, ysNeg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect negative correlation: %v", got)
+	}
+	if !math.IsNaN(Pearson(xs, []float64{1, 1, 1, 1, 1})) {
+		t.Error("constant series should give NaN")
+	}
+	if !math.IsNaN(Pearson([]float64{1}, []float64{2})) {
+		t.Error("length-1 should give NaN")
+	}
+	if !math.IsNaN(Pearson(xs, xs[:3])) {
+		t.Error("mismatched lengths should give NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 || h.Total != 7 {
+		t.Fatalf("histogram %+v", h)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	if c := h.BinCenter(0); c != 1 {
+		t.Fatalf("bin center %v", c)
+	}
+	// Density integrates to the in-range fraction.
+	var integral float64
+	for i := range h.Counts {
+		integral += h.Density(i) * 2 // bin width 2
+	}
+	if math.Abs(integral-4.0/7) > 1e-12 {
+		t.Fatalf("density integral %v", integral)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0 bins accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {99, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+}
+
+func TestECDFQuantileInverse(t *testing.T) {
+	// At(Quantile(q)) >= q for all q — the Galois connection property.
+	check := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		q := float64(qRaw%100)/100 + 0.01
+		e := NewECDF(raw)
+		return e.At(e.Quantile(q)) >= q-1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	q := []float64{1, 0}
+	if tv := TotalVariation(p, q); math.Abs(tv-0.5) > 1e-12 {
+		t.Fatalf("TV = %v", tv)
+	}
+	if tv := TotalVariation(p, p); tv != 0 {
+		t.Fatalf("TV(p,p) = %v", tv)
+	}
+	// Length padding.
+	if tv := TotalVariation([]float64{1}, []float64{0.5, 0.5}); math.Abs(tv-0.5) > 1e-12 {
+		t.Fatalf("padded TV = %v", tv)
+	}
+}

@@ -1,0 +1,199 @@
+// Package textplot renders experiment results as ASCII charts and CSV
+// tables. Go has no plotting facility in the standard library, so every
+// paper figure is reproduced as (a) a CSV file suitable for any external
+// plotter and (b) an ASCII chart for eyeballing shapes directly in the
+// terminal.
+package textplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a multi-series scatter/line chart rendered to text.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// Width and Height are the plot area size in characters; zero values
+	// default to 72×20.
+	Width  int
+	Height int
+	// LogX / LogY switch the corresponding axis to log10 scale. Points with
+	// non-positive coordinates on a log axis are dropped.
+	LogX bool
+	LogY bool
+
+	Series []Series
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. It never fails: empty charts render as a frame
+// with a note.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	type pt struct{ x, y float64 }
+	series := make([][]pt, len(c.Series))
+	var (
+		minX, minY = math.Inf(1), math.Inf(1)
+		maxX, maxY = math.Inf(-1), math.Inf(-1)
+		total      int
+	)
+	for si, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			x, y := s.X[i], s.Y[i]
+			if c.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log10(x)
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			series[si] = append(series[si], pt{x, y})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+			total++
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if total == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, pts := range series {
+		m := markers[si%len(markers)]
+		for _, p := range pts {
+			col := int((p.x - minX) / (maxX - minX) * float64(w-1))
+			row := h - 1 - int((p.y-minY)/(maxY-minY)*float64(h-1))
+			grid[row][col] = m
+		}
+	}
+
+	yLo, yHi := minY, maxY
+	xLo, xHi := minX, maxX
+	if c.LogY {
+		yLo, yHi = math.Pow(10, yLo), math.Pow(10, yHi)
+	}
+	if c.LogX {
+		xLo, xHi = math.Pow(10, xLo), math.Pow(10, xHi)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", c.YLabel)
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8s", compact(yHi))
+		case h - 1:
+			label = fmt.Sprintf("%8s", compact(yLo))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  %-*s%s\n", "", w-len(compact(xHi)), compact(xLo), compact(xHi))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%8s  %s%s\n", "", strings.Repeat(" ", (w-len(c.XLabel))/2), c.XLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 10000 || av < 0.001:
+		return strconv.FormatFloat(v, 'e', 1, 64)
+	case av >= 100:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// WriteCSV writes a header row and numeric rows to w.
+func WriteCSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return fmt.Errorf("textplot: write header: %w", err)
+	}
+	for _, row := range rows {
+		fields := make([]string, len(row))
+		for i, v := range row {
+			fields[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return fmt.Errorf("textplot: write row: %w", err)
+		}
+	}
+	return nil
+}
+
+// SeriesCSV writes series in long form: name,x,y per row.
+func SeriesCSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return fmt.Errorf("textplot: write header: %w", err)
+	}
+	for _, s := range series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s\n", s.Name,
+				strconv.FormatFloat(s.X[i], 'g', -1, 64),
+				strconv.FormatFloat(s.Y[i], 'g', -1, 64)); err != nil {
+				return fmt.Errorf("textplot: write row: %w", err)
+			}
+		}
+	}
+	return nil
+}

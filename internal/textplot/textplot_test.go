@@ -1,0 +1,125 @@
+package textplot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "line", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing marker")
+	}
+	if !strings.Contains(out, "line") {
+		t.Error("missing legend")
+	}
+	// The diagonal's endpoints: bottom-left and top-right markers exist.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 20 {
+		t.Fatalf("only %d lines", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("unexpected: %q", out)
+	}
+}
+
+func TestRenderLogAxisDropsNonPositive(t *testing.T) {
+	c := Chart{
+		LogX: true,
+		Series: []Series{
+			{Name: "s", X: []float64{-1, 0, 10, 100}, Y: []float64{1, 1, 2, 3}},
+		},
+	}
+	out := c.Render()
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("all points dropped")
+	}
+}
+
+func TestRenderAllInvalid(t *testing.T) {
+	c := Chart{
+		LogY:   true,
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{0}}},
+	}
+	if out := c.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatal("expected no-data note")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+	}
+	out := c.Render()
+	if strings.Contains(out, "(no data)") {
+		t.Fatal("flat series dropped")
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	c := Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("second marker missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b, []string{"x", "y"}, [][]float64{{1, 2}, {3.5, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,2\n3.5,4\n"
+	if b.String() != want {
+		t.Fatalf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	var b strings.Builder
+	err := SeriesCSV(&b, []Series{
+		{Name: "s1", X: []float64{1, 2}, Y: []float64{10, 20}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "series,x,y\ns1,1,10\ns1,2,20\n"
+	if b.String() != want {
+		t.Fatalf("got %q", b.String())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestCSVPropagatesErrors(t *testing.T) {
+	if err := WriteCSV(failWriter{}, []string{"x"}, nil); err == nil {
+		t.Error("WriteCSV swallowed the error")
+	}
+	if err := SeriesCSV(failWriter{}, nil); err == nil {
+		t.Error("SeriesCSV swallowed the error")
+	}
+}

@@ -1,0 +1,97 @@
+package stratmatch
+
+import (
+	"fmt"
+
+	"stratmatch/internal/core"
+	"stratmatch/internal/dynamics"
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+// StrategyKind selects how peers scan for better mates when they take an
+// initiative (the paper's Section 3 taxonomy).
+type StrategyKind int
+
+const (
+	// BestMate proposes to the best available blocking mate (full
+	// knowledge of ranks and willingness).
+	BestMate StrategyKind = iota + 1
+	// Decremental scans the acceptance list circularly from the last asked
+	// peer (ranks known, willingness unknown).
+	Decremental
+	// RandomProbe asks one uniformly random acceptable peer (no
+	// knowledge).
+	RandomProbe
+)
+
+// TrajectoryPoint is one sample of disorder over time; Time counts
+// initiatives per peer ("base units").
+type TrajectoryPoint = dynamics.Point
+
+// Simulation runs the decentralized initiative process on a Network: peers
+// repeatedly propose to better mates, converging to the stable matching
+// (Theorem 1), optionally under churn.
+type Simulation struct {
+	sim *dynamics.Simulator
+}
+
+// Simulate starts a simulation from the empty configuration. Networks built
+// with NewCompleteNetwork are not supported (the dynamics need a mutable
+// graph for churn); use NewRandomNetwork, which is also the paper's setting.
+func (nw *Network) Simulate(strategy StrategyKind, seed uint64) (*Simulation, error) {
+	adj, ok := nw.g.(*graph.Adjacency)
+	if !ok {
+		return nil, fmt.Errorf("stratmatch: Simulate requires a random network")
+	}
+	r := rng.New(seed)
+	var strat core.Strategy
+	switch strategy {
+	case BestMate:
+		strat = core.BestMateStrategy{}
+	case Decremental:
+		strat = core.NewDecrementalStrategy(nw.N())
+	case RandomProbe:
+		strat = core.NewRandomStrategy(r.Split())
+	default:
+		return nil, fmt.Errorf("stratmatch: unknown strategy %d", strategy)
+	}
+	sim, err := dynamics.New(adj.Clone(), nw.budgets, strat, r)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulation{sim: sim}, nil
+}
+
+// Run advances the simulation by `units` initiatives-per-peer, sampling the
+// disorder (distance to the instant stable matching) samplesPerUnit times
+// per unit. The trajectory includes the starting point.
+func (s *Simulation) Run(units float64, samplesPerUnit int) []TrajectoryPoint {
+	return s.sim.Run(units, samplesPerUnit)
+}
+
+// RunChurn is Run under continuous churn: with probability churnRate before
+// each initiative, a random peer leaves or a departed peer rejoins (with
+// attachProb edge probability towards present peers).
+func (s *Simulation) RunChurn(units float64, samplesPerUnit int, churnRate, attachProb float64) []TrajectoryPoint {
+	return s.sim.RunChurn(units, samplesPerUnit, churnRate, attachProb)
+}
+
+// Disorder returns the current distance to the instant stable matching.
+func (s *Simulation) Disorder() float64 { return s.sim.Disorder() }
+
+// RemovePeer makes a peer leave (its collaborations dissolve); AddPeer
+// brings a departed peer back with fresh random acceptances.
+func (s *Simulation) RemovePeer(p int) { s.sim.RemovePeer(p) }
+
+// AddPeer re-introduces a departed peer; attachProb is the probability of an
+// acceptance edge to each present peer.
+func (s *Simulation) AddPeer(p int, attachProb float64) { s.sim.AddPeer(p, attachProb) }
+
+// JumpToStable replaces the current configuration with the instant stable
+// matching (useful as the starting point for perturbation experiments).
+func (s *Simulation) JumpToStable() { s.sim.SetStable() }
+
+// Converged reports whether the current configuration equals the instant
+// stable matching.
+func (s *Simulation) Converged() bool { return s.sim.Disorder() == 0 }

@@ -1,0 +1,232 @@
+package stratmatch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompleteNetworkStable(t *testing.T) {
+	nw, err := NewCompleteNetwork(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := nw.Stable()
+	if !m.IsStable() {
+		t.Fatal("stable matching not stable")
+	}
+	rep := m.Clusters()
+	if rep.MeanClusterSize != 3 || rep.Components != 3 {
+		t.Fatalf("cluster report %+v", rep)
+	}
+	if !m.Matched(0, 1) || !m.Matched(0, 2) || !m.Matched(1, 2) {
+		t.Fatal("first cluster wrong")
+	}
+	mates := m.Mates(0)
+	mates[0] = 99 // returned slice must be a copy
+	if m.Mates(0)[0] == 99 {
+		t.Fatal("Mates returns internal storage")
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	if _, err := NewCompleteNetwork(-1, 1); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := NewRandomNetwork(10, -1, 1, 0); err == nil {
+		t.Error("negative degree accepted")
+	}
+	nw, err := NewCompleteNetwork(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetBudget(9, 1); err == nil {
+		t.Error("out-of-range SetBudget accepted")
+	}
+	if err := nw.SetBudgets([]int{1, 2}); err == nil {
+		t.Error("short SetBudgets accepted")
+	}
+	if err := nw.SetBudgets([]int{1, 1, 1, 1, -1}); err == nil {
+		t.Error("negative SetBudgets accepted")
+	}
+}
+
+func TestSetBudgetChangesStable(t *testing.T) {
+	nw, err := NewCompleteNetwork(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.SetBudget(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	rep := nw.Stable().Clusters()
+	if rep.Components != 1 {
+		t.Fatalf("extra slot should connect the graph (Figure 5): %+v", rep)
+	}
+}
+
+func TestRandomNetworkDeterministic(t *testing.T) {
+	a, err := NewRandomNetwork(200, 8, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandomNetwork(200, 8, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			if a.Acceptable(i, j) != b.Acceptable(i, j) {
+				t.Fatalf("networks differ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestSimulationConverges(t *testing.T) {
+	nw, err := NewRandomNetwork(300, 10, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []StrategyKind{BestMate, Decremental, RandomProbe} {
+		sim, err := nw.Simulate(kind, 7)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		units := 15.0
+		if kind == RandomProbe {
+			units = 120 // random probing mixes much more slowly
+		}
+		traj := sim.Run(units, 1)
+		if !sim.Converged() {
+			t.Fatalf("strategy %v: disorder %v after %v units",
+				kind, traj[len(traj)-1].Disorder, units)
+		}
+	}
+}
+
+func TestSimulateOnCompleteRejected(t *testing.T) {
+	nw, err := NewCompleteNetwork(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nw.Simulate(BestMate, 1); err == nil {
+		t.Fatal("Simulate on complete network should be rejected")
+	}
+	nwR, err := NewRandomNetwork(10, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nwR.Simulate(StrategyKind(99), 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestSimulationPerturbation(t *testing.T) {
+	nw, err := NewRandomNetwork(400, 10, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := nw.Simulate(BestMate, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.JumpToStable()
+	if !sim.Converged() {
+		t.Fatal("JumpToStable did not converge")
+	}
+	sim.RemovePeer(0)
+	sim.Run(10, 1)
+	if !sim.Converged() {
+		t.Fatalf("did not re-converge after removal: %v", sim.Disorder())
+	}
+	sim.AddPeer(0, 10.0/399)
+	sim.Run(10, 1)
+	if !sim.Converged() {
+		t.Fatalf("did not re-converge after re-join: %v", sim.Disorder())
+	}
+}
+
+func TestMateDistributionFacade(t *testing.T) {
+	row, err := MateDistribution(100, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != 100 {
+		t.Fatalf("row length %d", len(row))
+	}
+	if math.Abs(row[1]-0.1) > 1e-12 {
+		t.Fatalf("D(0,1) = %v, want 0.1", row[1])
+	}
+	if _, err := MateDistribution(10, 2, 0); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+}
+
+func TestChoiceDistributionsFacade(t *testing.T) {
+	rows, err := ChoiceDistributions(60, 0.1, 2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || len(rows[0]) != 60 {
+		t.Fatalf("shape %dx%d", len(rows), len(rows[0]))
+	}
+	var first, second float64
+	for j := range rows[0] {
+		first += rows[0][j]
+		second += rows[1][j]
+	}
+	if second > first {
+		t.Fatalf("second choice more likely than first: %v > %v", second, first)
+	}
+}
+
+func TestShareRatiosFacade(t *testing.T) {
+	pts, err := ShareRatios(300, 3, 15, SaroiuBandwidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 300 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].Efficiency >= pts[len(pts)-1].Efficiency {
+		t.Fatal("best peer should have lower efficiency than worst")
+	}
+}
+
+func TestFluidDensityFacade(t *testing.T) {
+	if FluidDensity(10, 0) != 10 {
+		t.Fatal("fluid density at 0")
+	}
+}
+
+func TestRankByScore(t *testing.T) {
+	scores := []float64{10, 50, 30, 50}
+	rankOf, peerAt := RankByScore(scores)
+	if rankOf[1] != 0 || rankOf[3] != 1 || rankOf[2] != 2 || rankOf[0] != 3 {
+		t.Fatalf("rankOf = %v", rankOf)
+	}
+	if peerAt[0] != 1 || peerAt[1] != 3 {
+		t.Fatalf("peerAt = %v (ties must break by index)", peerAt)
+	}
+}
+
+func TestSwarmFacade(t *testing.T) {
+	sw, err := NewSwarm(SwarmOptions{
+		Leechers: 20, Seeds: 1, Pieces: 16, PostFlashCrowd: true, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sw.RunUntilDone(20000) {
+		t.Fatal("swarm did not finish")
+	}
+	m := sw.Metrics()
+	if m.CompletedLeechers != 20 {
+		t.Fatalf("completed %d", m.CompletedLeechers)
+	}
+	if sw.Round() <= 0 {
+		t.Fatal("round did not advance")
+	}
+	sw.Depart(0) // post-completion departure is harmless
+	sw.Run(5)
+}

@@ -1,0 +1,46 @@
+package stratmatch
+
+import "stratmatch/internal/btsim"
+
+// SwarmOptions configures a BitTorrent Tit-for-Tat swarm simulation.
+type SwarmOptions = btsim.Options
+
+// SwarmMetrics summarizes a swarm run (per-peer totals, completion times,
+// and the stratification statistics).
+type SwarmMetrics = btsim.Metrics
+
+// PeerMetrics is one peer's row in SwarmMetrics.
+type PeerMetrics = btsim.PeerMetrics
+
+// Swarm is a running BitTorrent swarm simulation.
+type Swarm struct {
+	s *btsim.Swarm
+}
+
+// NewSwarm builds a swarm simulator: pieces with rarest-first selection,
+// Tit-for-Tat choking with an optimistic unchoke, and fair capacity
+// splitting. Set SwarmOptions.ContentUnlimited for the paper's Section 6
+// regime where only bandwidth matters.
+func NewSwarm(o SwarmOptions) (*Swarm, error) {
+	s, err := btsim.New(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Swarm{s: s}, nil
+}
+
+// Run advances the swarm by the given number of one-second rounds.
+func (sw *Swarm) Run(rounds int) { sw.s.Run(rounds) }
+
+// RunUntilDone steps until every leecher completes or maxRounds elapse,
+// reporting whether the swarm finished.
+func (sw *Swarm) RunUntilDone(maxRounds int) bool { return sw.s.RunUntilDone(maxRounds) }
+
+// Depart makes a peer leave the swarm (failure injection).
+func (sw *Swarm) Depart(id int) { sw.s.Depart(id) }
+
+// Round returns the current round number.
+func (sw *Swarm) Round() int { return sw.s.Round() }
+
+// Metrics computes the current snapshot.
+func (sw *Swarm) Metrics() SwarmMetrics { return sw.s.Snapshot() }
