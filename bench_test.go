@@ -19,7 +19,10 @@ const BenchScale = 0.2
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
-	cfg := experiments.Config{Seed: 1, Scale: BenchScale, MCSamples: 200}
+	// 500 Monte-Carlo draws: the parallel sampler made the larger draw
+	// count affordable, and 200 draws left fig9's TV-distance check too
+	// noisy to pass at bench scale.
+	cfg := experiments.Config{Seed: 1, Scale: BenchScale, MCSamples: 500}
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Run(id, cfg)
 		if err != nil {

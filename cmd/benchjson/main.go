@@ -1,0 +1,108 @@
+// Command benchjson converts `go test -bench` output into a JSON document
+// so the per-experiment performance trajectory can be tracked across PRs
+// (scripts/bench.sh writes it to BENCH_results.json at the repository
+// root).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x -benchmem | benchjson > BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one `go test -bench` result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp / AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *int64 `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON shape.
+type Document struct {
+	// Context lines from the benchmark header (goos, goarch, pkg, cpu).
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	doc := Document{Context: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		case strings.HasPrefix(line, "goos:"),
+			strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"),
+			strings.HasPrefix(line, "cpu:"):
+			key, val, _ := strings.Cut(line, ":")
+			doc.Context[key] = strings.TrimSpace(val)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// parseBenchLine parses e.g.
+//
+//	BenchmarkSwarm-8   3   13553642 ns/op   164581 B/op   473 allocs/op
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names are stable across runners.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err1 := strconv.ParseInt(fields[1], 10, 64)
+	ns, err2 := strconv.ParseFloat(fields[2], 64)
+	if err1 != nil || err2 != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "B/op":
+			val := v
+			b.BytesPerOp = &val
+		case "allocs/op":
+			val := v
+			b.AllocsPerOp = &val
+		}
+	}
+	return b, true
+}

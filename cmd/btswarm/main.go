@@ -3,9 +3,15 @@
 //
 // Usage examples:
 //
-//	btswarm -leechers 200 -seeds 2 -pieces 256 -rounds 2000
-//	btswarm -leechers 300 -unlimited -rounds 3000        # Section 6 regime
+//	btswarm -leechers 400 -seeds 2 -pieces 256 -rounds 2000
+//	btswarm -leechers 500 -unlimited -rounds 3000        # Section 6 regime
 //	btswarm -leechers 100 -seeds 1 -until-done           # flash crowd
+//	btswarm -replicas 16 -unlimited                      # parallel replica study
+//
+// With -replicas N, N independent swarms (seeds seed, seed+1, ...) run
+// across -workers goroutines and the stratification statistics are
+// aggregated over the replicas; the per-peer report is printed for the
+// first replica only.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 
 	"stratmatch/internal/bandwidth"
 	"stratmatch/internal/btsim"
+	"stratmatch/internal/par"
 	"stratmatch/internal/rng"
 	"stratmatch/internal/stats"
 )
@@ -31,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("btswarm", flag.ContinueOnError)
 	var (
-		leechers  = fs.Int("leechers", 200, "number of leechers")
+		leechers  = fs.Int("leechers", 400, "number of leechers")
 		seeds     = fs.Int("seeds", 2, "number of initial seeds")
 		pieces    = fs.Int("pieces", 256, "pieces in the file")
 		pieceKbit = fs.Float64("piece-kbit", 2048, "piece size in kbit")
@@ -44,54 +51,114 @@ func run(args []string) error {
 		uniform   = fs.Float64("uniform-kbps", 0, "give every peer this capacity instead of the Saroiu distribution")
 		seed      = fs.Uint64("seed", 0, "random seed")
 		warmup    = fs.Int("warmup", 0, "metrics warmup rounds (default: rounds/3)")
+		replicas  = fs.Int("replicas", 1, "independent replicas (seed, seed+1, ...) to aggregate")
+		workers   = fs.Int("workers", 0, "goroutines for replica fan-out (0 = all cores)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	n := *leechers + *seeds
-	caps := make([]float64, n)
-	if *uniform > 0 {
-		for i := range caps {
-			caps[i] = *uniform
-		}
-	} else {
-		ranked := bandwidth.RankBandwidths(bandwidth.Saroiu(), *leechers)
-		perm := rng.New(*seed + 1).Perm(*leechers)
-		for i, src := range perm {
-			caps[i] = ranked[src]
-		}
-		for i := *leechers; i < n; i++ {
-			caps[i] = 5000 // well-provisioned seeds
-		}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas %d", *replicas)
 	}
-	w := *warmup
-	if w == 0 {
-		w = *rounds / 3
+
+	// The ranked capacity vector is replica-independent; only the id↔rank
+	// permutation differs per replica.
+	var ranked []float64
+	if *uniform <= 0 {
+		ranked = bandwidth.RankBandwidths(bandwidth.Saroiu(), *leechers)
 	}
-	s, err := btsim.New(btsim.Options{
-		Leechers:            *leechers,
-		Seeds:               *seeds,
-		Pieces:              *pieces,
-		PieceKbit:           *pieceKbit,
-		UploadKbps:          caps,
-		TFTSlots:            *tftSlots,
-		NeighborCount:       *neighbors,
-		PostFlashCrowd:      *postFlash,
-		ContentUnlimited:    *unlimited,
-		MetricsWarmupRounds: w,
-		Seed:                *seed,
-	})
-	if err != nil {
+	runOne := func(replicaSeed uint64) (btsim.Metrics, error) {
+		n := *leechers + *seeds
+		caps := make([]float64, n)
+		if *uniform > 0 {
+			for i := range caps {
+				caps[i] = *uniform
+			}
+		} else {
+			// Split off a sub-stream for the shuffle: the swarm itself
+			// consumes rng.New(replicaSeed), and with sequential replica
+			// seeds an additive offset would collide with the next
+			// replica's stream.
+			perm := rng.New(replicaSeed).Split().Perm(*leechers)
+			for i, src := range perm {
+				caps[i] = ranked[src]
+			}
+			for i := *leechers; i < n; i++ {
+				caps[i] = 5000 // well-provisioned seeds
+			}
+		}
+		w := *warmup
+		if w == 0 {
+			w = *rounds / 3
+		}
+		s, err := btsim.New(btsim.Options{
+			Leechers:            *leechers,
+			Seeds:               *seeds,
+			Pieces:              *pieces,
+			PieceKbit:           *pieceKbit,
+			UploadKbps:          caps,
+			TFTSlots:            *tftSlots,
+			NeighborCount:       *neighbors,
+			PostFlashCrowd:      *postFlash,
+			ContentUnlimited:    *unlimited,
+			MetricsWarmupRounds: w,
+			Seed:                replicaSeed,
+		})
+		if err != nil {
+			return btsim.Metrics{}, err
+		}
+		if *untilDone {
+			if !s.RunUntilDone(*rounds * 100) {
+				fmt.Println("WARNING: swarm did not complete within the round budget")
+			}
+		} else {
+			s.Run(*rounds)
+		}
+		return s.Snapshot(), nil
+	}
+
+	if *replicas == 1 {
+		m, err := runOne(*seed)
+		if err != nil {
+			return err
+		}
+		report(m)
+		return nil
+	}
+
+	// Replica fan-out: each replica owns its swarm and writes to its own
+	// slot, so results are independent of worker count.
+	nw := par.Workers(*replicas, *workers)
+	metrics := make([]btsim.Metrics, *replicas)
+	if err := par.ForEachErr(*replicas, nw, func(rep int) error {
+		var err error
+		metrics[rep], err = runOne(*seed + uint64(rep))
+		return err
+	}); err != nil {
 		return err
 	}
-	if *untilDone {
-		if !s.RunUntilDone(*rounds * 100) {
-			fmt.Println("WARNING: swarm did not complete within the round budget")
+
+	var corrs, offsets []float64
+	for _, m := range metrics {
+		if !math.IsNaN(m.StratCorrelation) {
+			corrs = append(corrs, m.StratCorrelation)
 		}
-	} else {
-		s.Run(*rounds)
+		if !math.IsNaN(m.MeanAbsRankOffset) {
+			offsets = append(offsets, m.MeanAbsRankOffset)
+		}
 	}
-	report(s.Snapshot())
+	fmt.Printf("replicas:                %d (seeds %d..%d, %d workers)\n",
+		*replicas, *seed, *seed+uint64(*replicas)-1, nw)
+	if len(corrs) > 0 {
+		sc := stats.Summarize(corrs)
+		fmt.Printf("stratification corr:     mean %.3f  min %.3f  max %.3f\n", sc.Mean, sc.Min, sc.Max)
+	}
+	if len(offsets) > 0 {
+		so := stats.Summarize(offsets)
+		fmt.Printf("mean |rank offset|:      mean %.3f  min %.3f  max %.3f\n", so.Mean, so.Min, so.Max)
+	}
+	fmt.Println("\n--- replica 0 ---")
+	report(metrics[0])
 	return nil
 }
 

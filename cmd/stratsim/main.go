@@ -40,6 +40,7 @@ func run(args []string) error {
 		seed    = fs.Uint64("seed", 0, "random seed")
 		samples = fs.Int("samples", 0, "Monte-Carlo samples for fig9 (0 = default 1000)")
 		out     = fs.String("out", "", "directory for CSV output (created if missing)")
+		workers = fs.Int("workers", 0, "goroutines for parallel experiments (0 = all cores); results are identical for any value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,7 +56,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("missing -exp (or -list)")
 	}
-	cfg := experiments.Config{Seed: *seed, Scale: *scale, MCSamples: *samples}
+	cfg := experiments.Config{Seed: *seed, Scale: *scale, MCSamples: *samples, Workers: *workers}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

@@ -1,0 +1,3 @@
+module stratmatch
+
+go 1.24

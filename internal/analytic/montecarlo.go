@@ -2,11 +2,10 @@ package analytic
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"stratmatch/internal/core"
 	"stratmatch/internal/graph"
+	"stratmatch/internal/par"
 	"stratmatch/internal/rng"
 )
 
@@ -28,12 +27,22 @@ type MonteCarloResult struct {
 	MatchedCount []int
 }
 
-// MonteCarloChoices samples `samples` G(n, p) graphs, solves the stable
-// b0-matching exactly on each (Algorithm 1), and histograms the ranks of the
-// target peer's 1st..b0-th choices. Sampling fans out over GOMAXPROCS
-// workers, each with an independent deterministic sub-stream, so the result
-// is reproducible for a given seed regardless of scheduling.
+// MonteCarloChoices is MonteCarloChoicesWorkers with the default worker
+// count (GOMAXPROCS).
 func MonteCarloChoices(n int, p float64, b0, peer, samples int, seed uint64) (*MonteCarloResult, error) {
+	return MonteCarloChoicesWorkers(n, p, b0, peer, samples, seed, 0)
+}
+
+// MonteCarloChoicesWorkers samples `samples` G(n, p) graphs, solves the
+// stable b0-matching exactly on each (Algorithm 1), and histograms the ranks
+// of the target peer's 1st..b0-th choices. Sampling fans out over `workers`
+// goroutines (0 = GOMAXPROCS).
+//
+// Every sample draws from its own sub-stream derived from (seed, sample
+// index), and the merged histograms are integer counts, so the result is
+// identical for any worker count and any scheduling — one seed, one answer,
+// on a laptop or a 128-core runner.
+func MonteCarloChoicesWorkers(n int, p float64, b0, peer, samples int, seed uint64, workers int) (*MonteCarloResult, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("analytic: population %d", n)
 	}
@@ -50,40 +59,30 @@ func MonteCarloChoices(n int, p float64, b0, peer, samples int, seed uint64) (*M
 		return nil, fmt.Errorf("analytic: probability %v out of [0,1]", p)
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > samples {
-		workers = samples
-	}
+	workers = par.Workers(samples, workers)
 	type partial struct {
 		counts  [][]int
 		matched []int
 	}
 	partials := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * samples / workers
-		hi := (w + 1) * samples / workers
+	for w := range partials {
 		pt := &partials[w]
 		pt.counts = make([][]int, b0)
 		for c := range pt.counts {
 			pt.counts[c] = make([]int, n)
 		}
 		pt.matched = make([]int, b0)
-		wg.Add(1)
-		go func(w, lo, hi int, pt *partial) {
-			defer wg.Done()
-			r := rng.New(seed + uint64(w)*0x9e3779b97f4a7c15)
-			for s := lo; s < hi; s++ {
-				g := graph.ErdosRenyi(n, p, r)
-				cfg := core.StableUniform(g, b0)
-				for c, mate := range cfg.Mates(peer) {
-					pt.counts[c][mate]++
-					pt.matched[c]++
-				}
-			}
-		}(w, lo, hi, pt)
 	}
-	wg.Wait()
+	par.ForEachWorker(samples, workers, func(w, s int) {
+		pt := &partials[w]
+		r := rng.New(seed + uint64(s)*0x9e3779b97f4a7c15)
+		g := graph.ErdosRenyi(n, p, r)
+		cfg := core.StableUniform(g, b0)
+		for c, mate := range cfg.Mates(peer) {
+			pt.counts[c][mate]++
+			pt.matched[c]++
+		}
+	})
 
 	res := &MonteCarloResult{
 		N:            n,

@@ -1,0 +1,78 @@
+package btsim
+
+import (
+	"testing"
+
+	"stratmatch/internal/bandwidth"
+	"stratmatch/internal/rng"
+)
+
+// TestStepZeroAllocSteadyState pins the engine's core guarantee: once a
+// swarm is wired, Step never allocates — neither in the content-unlimited
+// stratification regime nor while actively trading pieces.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	caps := bandwidth.RankBandwidths(bandwidth.Saroiu(), 80)
+	perm := rng.New(1).Perm(80)
+	shuffled := make([]float64, 80)
+	for i, src := range perm {
+		shuffled[i] = caps[src]
+	}
+
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"content-unlimited", Options{
+			Leechers: 80, Pieces: 1, ContentUnlimited: true,
+			UploadKbps: shuffled, NeighborCount: 12, Seed: 31,
+		}},
+		{"piece-trading", Options{
+			Leechers: 60, Seeds: 2, Pieces: 64, PieceKbit: 2048,
+			PostFlashCrowd: true, NeighborCount: 12, Seed: 32,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := New(tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Run(50) // get past the start-up transient
+			if allocs := testing.AllocsPerRun(200, s.Step); allocs != 0 {
+				t.Fatalf("Swarm.Step allocates %.1f objects per round, want 0", allocs)
+			}
+		})
+	}
+}
+
+func BenchmarkStepContentUnlimited(b *testing.B) {
+	s, err := New(Options{
+		Leechers: 300, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 20, Seed: 33,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkStepPieceTrading(b *testing.B) {
+	s, err := New(Options{
+		Leechers: 300, Seeds: 3, Pieces: 256, PieceKbit: 1 << 40, // pieces never finish: steady transfer load
+		PostFlashCrowd: true, NeighborCount: 20, Seed: 34,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Run(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}

@@ -36,6 +36,16 @@ func (b bitset) setAll() {
 	}
 }
 
+// countMissingIn counts the pieces other holds that b lacks — the initial
+// value of the incremental interest counter want[e].
+func (b bitset) countMissingIn(other bitset) int {
+	total := 0
+	for i, w := range b.words {
+		total += bits.OnesCount64(other.words[i] &^ w)
+	}
+	return total
+}
+
 // anyMissingIn reports whether other holds at least one piece b lacks —
 // i.e. whether b's owner is interested in other's owner.
 func (b bitset) anyMissingIn(other bitset) bool {

@@ -14,10 +14,11 @@ func TestChokeSlotsBounded(t *testing.T) {
 	}
 	for round := 0; round < 120; round++ {
 		s.Step()
-		for _, p := range s.peers {
+		for i := range s.peers {
+			p := &s.peers[i]
 			unchoked := 0
-			for _, u := range p.unchoked {
-				if u {
+			for e := s.off[i]; e < s.off[i+1]; e++ {
+				if s.unchoked[e] {
 					unchoked++
 				}
 			}
@@ -28,7 +29,7 @@ func TestChokeSlotsBounded(t *testing.T) {
 			if unchoked > limit {
 				t.Fatalf("round %d: peer %d unchokes %d > %d", round, p.id, unchoked, limit)
 			}
-			if p.optimistic >= 0 && p.unchoked[p.optimistic] {
+			if p.optimistic >= 0 && s.unchoked[p.optimistic] {
 				t.Fatalf("round %d: peer %d optimistic slot overlaps a TFT slot", round, p.id)
 			}
 		}
@@ -45,12 +46,12 @@ func TestOptimisticRotates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := s.peers[0]
-	seen := make(map[int]bool)
+	p := &s.peers[0]
+	seen := make(map[int32]bool)
 	for round := 0; round < 600; round++ {
 		s.Step()
 		if p.optimistic >= 0 {
-			seen[p.neighbors[p.optimistic]] = true
+			seen[s.nbr[p.optimistic]] = true
 		}
 	}
 	if len(seen) < 3 {
@@ -74,18 +75,21 @@ func TestRarestFirstPicksRarest(t *testing.T) {
 	give := func(p *peer, piece int) {
 		p.have.set(piece)
 		p.haveCount++
-		for _, j := range p.neighbors {
-			s.peers[j].avail[piece]++
+		for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+			s.avail[int(s.nbr[e])*s.opt.Pieces+piece]++
+			if !s.peers[s.nbr[e]].have.has(piece) {
+				s.want[s.rev[e]]++
+			}
 		}
 	}
-	give(s.peers[1], 0)
-	give(s.peers[1], 1)
-	give(s.peers[2], 0)
-	if got := s.pickPiece(s.peers[0], s.peers[1]); got != 1 {
+	give(&s.peers[1], 0)
+	give(&s.peers[1], 1)
+	give(&s.peers[2], 0)
+	if got := s.pickPiece(&s.peers[0], &s.peers[1]); got != 1 {
 		t.Fatalf("picked piece %d, want the rarer piece 1", got)
 	}
 	// From peer 2 (has only piece 0), peer 0 must accept piece 0.
-	if got := s.pickPiece(s.peers[0], s.peers[2]); got != 0 {
+	if got := s.pickPiece(&s.peers[0], &s.peers[2]); got != 0 {
 		t.Fatalf("picked %d from a single-piece holder", got)
 	}
 }
@@ -99,7 +103,8 @@ func TestContentUnlimitedNeverDone(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run(300)
-	for _, p := range s.peers {
+	for i := range s.peers {
+		p := &s.peers[i]
 		if p.done {
 			t.Fatalf("peer %d finished in content-unlimited mode", p.id)
 		}
@@ -125,11 +130,11 @@ func TestRecvRateMeasuresWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run(25)
-	p0, p1 := s.peers[0], s.peers[1]
-	if got := p0.recvRate[0]; got != 500 {
+	// Each peer has exactly one edge: its block starts at off[id].
+	if got := s.recvRate[s.off[0]]; got != 500 {
 		t.Fatalf("peer 0 measures %v kbps from peer 1, want 500", got)
 	}
-	if got := p1.recvRate[0]; got != 300 {
+	if got := s.recvRate[s.off[1]]; got != 300 {
 		t.Fatalf("peer 1 measures %v kbps from peer 0, want 300", got)
 	}
 }
@@ -149,4 +154,55 @@ func TestDepartedPeerNeverTransfers(t *testing.T) {
 	if s.peers[3].totalUp != up || s.peers[3].totalDown != down {
 		t.Fatal("departed peer kept moving data")
 	}
+}
+
+// TestIncrementalInterestMatchesBitfields cross-checks the incremental
+// want[e] counters against a from-scratch bitfield recount after a run with
+// completions and a departure — the invariant the O(1) interest test relies
+// on.
+func TestIncrementalInterestMatchesBitfields(t *testing.T) {
+	s, err := New(Options{
+		Leechers: 25, Seeds: 2, Pieces: 48, PieceKbit: 512,
+		PostFlashCrowd: true, Seed: 27,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		for i := range s.peers {
+			p := &s.peers[i]
+			if p.departed {
+				continue
+			}
+			base := i * s.opt.Pieces
+			recount := make([]int32, s.opt.Pieces)
+			for e := s.off[i]; e < s.off[i+1]; e++ {
+				q := &s.peers[s.nbr[e]]
+				if q.departed {
+					// Departed neighbors were subtracted from avail and
+					// their want counters are frozen behind the departed
+					// guard.
+					continue
+				}
+				if got, want := s.want[e], int32(p.have.countMissingIn(q.have)); got != want {
+					t.Fatalf("%s: want[%d→%d] = %d, recount %d", stage, i, q.id, got, want)
+				}
+				for piece := 0; piece < s.opt.Pieces; piece++ {
+					if q.have.has(piece) {
+						recount[piece]++
+					}
+				}
+			}
+			for piece, want := range recount {
+				if got := s.avail[base+piece]; got != want {
+					t.Fatalf("%s: avail[%d,%d] = %d, recount %d", stage, i, piece, got, want)
+				}
+			}
+		}
+	}
+	s.Run(60)
+	check("mid-run")
+	s.Depart(4)
+	s.Run(60)
+	check("after departure")
 }

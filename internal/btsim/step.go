@@ -1,12 +1,18 @@
 package btsim
 
+import "math/bits"
+
 // Step advances the simulation by one round (one second): choke decisions on
 // their (per-peer staggered) schedule, then one round of data transfer.
 // Staggering matters: real BitTorrent clients run independent 10-second
 // choke timers; synchronizing them makes Tit-for-Tat pairs oscillate instead
 // of locking in.
+//
+// Steady-state stepping is allocation-free: all per-edge state and scratch
+// space was preallocated at wiring time.
 func (s *Swarm) Step() {
-	for _, p := range s.peers {
+	for i := range s.peers {
+		p := &s.peers[i]
 		if p.departed {
 			continue
 		}
@@ -42,7 +48,8 @@ func (s *Swarm) RunUntilDone(maxRounds int) bool {
 
 // AllDone reports whether every present leecher has completed the file.
 func (s *Swarm) AllDone() bool {
-	for _, p := range s.peers {
+	for i := range s.peers {
+		p := &s.peers[i]
 		if !p.isSeed && !p.departed && !p.done {
 			return false
 		}
@@ -59,51 +66,36 @@ func (s *Swarm) Depart(id int) {
 	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
 		return
 	}
-	p := s.peers[id]
+	p := &s.peers[id]
 	p.departed = true
-	for k, j := range p.neighbors {
-		q := s.peers[j]
-		kq := q.indexOf(id)
-		if kq < 0 {
-			continue
-		}
-		// Neighbors lose availability of p's pieces and any in-flight
-		// download from p.
-		for piece := 0; piece < s.opt.Pieces; piece++ {
-			if p.have.has(piece) {
-				q.avail[piece]--
+	P := s.opt.Pieces
+	for e := s.off[id]; e < s.off[id+1]; e++ {
+		q := &s.peers[s.nbr[e]]
+		er := s.rev[e] // q's edge back to p
+		// Neighbors lose availability of p's pieces (iterating only the
+		// set bits of p's bitfield) and any in-flight download from p.
+		base := q.id * P
+		for wi, w := range p.have.words {
+			for w != 0 {
+				piece := wi<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				s.avail[base+piece]--
 			}
 		}
-		q.inflight[kq] = -1
-		q.unchoked[kq] = false
-		if q.optimistic == kq {
+		s.inflight[er] = -1
+		s.unchoked[er] = false
+		if q.optimistic == er {
 			q.optimistic = -1
 		}
-		_ = k
 	}
 }
 
-// indexOf returns the index of neighbor id in p.neighbors (sorted), or −1.
-func (p *peer) indexOf(id int) int {
-	lo, hi := 0, len(p.neighbors)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if p.neighbors[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	if lo < len(p.neighbors) && p.neighbors[lo] == id {
-		return lo
-	}
-	return -1
-}
-
-// interestedIn reports whether peer v wants data from peer u: v is still
-// leeching and u has a piece v lacks (in content-unlimited mode every
-// leecher always wants data from everybody).
-func (s *Swarm) interestedIn(v, u *peer) bool {
+// wantsAlong reports whether peer v wants data from peer u, where e is v's
+// edge to u: v is still leeching and u has a piece v lacks (in
+// content-unlimited mode every leecher always wants data from everybody).
+// The missing-piece count is maintained incrementally in want[e], so this is
+// O(1) instead of a bitfield scan.
+func (s *Swarm) wantsAlong(v, u *peer, e int32) bool {
 	if v.departed || u.departed || v == u {
 		return false
 	}
@@ -113,16 +105,16 @@ func (s *Swarm) interestedIn(v, u *peer) bool {
 	if v.done {
 		return false
 	}
-	return v.have.anyMissingIn(u.have)
+	return s.want[e] > 0
 }
 
 // rechokePeer recomputes p's rates from its elapsed window and reassigns its
 // TFT slots.
 func (s *Swarm) rechokePeer(p *peer) {
 	interval := float64(s.opt.ChokeIntervalRounds)
-	for k := range p.recvWindow {
-		p.recvRate[k] = p.recvWindow[k] / interval
-		p.recvWindow[k] = 0
+	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+		s.recvRate[e] = s.recvWindow[e] / interval
+		s.recvWindow[e] = 0
 	}
 	if p.done {
 		s.rechokeSeed(p)
@@ -134,48 +126,46 @@ func (s *Swarm) rechokePeer(p *peer) {
 // rechokeLeecher implements Tit-for-Tat: unchoke the TFTSlots neighbors that
 // delivered the most data in the last interval and are interested in us.
 func (s *Swarm) rechokeLeecher(p *peer) {
-	type cand struct {
-		k    int
-		rate float64
-	}
-	var cands []cand
-	for k, j := range p.neighbors {
-		q := s.peers[j]
-		if q.departed || !s.interestedIn(q, p) {
-			p.unchoked[k] = false
+	nc := 0
+	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+		s.unchoked[e] = false
+		q := &s.peers[s.nbr[e]]
+		if !s.wantsAlong(q, p, s.rev[e]) {
 			continue
 		}
-		cands = append(cands, cand{k, p.recvRate[k]})
-		p.unchoked[k] = false
+		s.candE[nc] = e
+		s.candRate[nc] = s.recvRate[e]
+		nc++
 	}
 	// Partial selection sort of the top TFTSlots by (rate desc, id asc).
 	slots := s.opt.TFTSlots
-	if slots > len(cands) {
-		slots = len(cands)
+	if slots > nc {
+		slots = nc
 	}
 	for pos := 0; pos < slots; pos++ {
 		best := pos
-		for i := pos + 1; i < len(cands); i++ {
-			if cands[i].rate > cands[best].rate ||
-				(cands[i].rate == cands[best].rate &&
-					p.neighbors[cands[i].k] < p.neighbors[cands[best].k]) {
+		for i := pos + 1; i < nc; i++ {
+			if s.candRate[i] > s.candRate[best] ||
+				(s.candRate[i] == s.candRate[best] &&
+					s.nbr[s.candE[i]] < s.nbr[s.candE[best]]) {
 				best = i
 			}
 		}
-		cands[pos], cands[best] = cands[best], cands[pos]
-		p.unchoked[cands[pos].k] = true
+		s.candE[pos], s.candE[best] = s.candE[best], s.candE[pos]
+		s.candRate[pos], s.candRate[best] = s.candRate[best], s.candRate[pos]
+		s.unchoked[s.candE[pos]] = true
 		// Stratification accounting: record the TFT partner's global rank,
 		// but only for rate-driven choices after the warmup — zero-rate
 		// picks are id-order artifacts, and early intervals measure mixing
 		// noise rather than Tit-for-Tat preferences.
-		if cands[pos].rate > 0 && s.round >= s.opt.MetricsWarmupRounds {
-			p.tftPartnerRankSum += float64(s.rank[p.neighbors[cands[pos].k]])
+		if s.candRate[pos] > 0 && s.round >= s.opt.MetricsWarmupRounds {
+			p.tftPartnerRankSum += float64(s.rank[s.nbr[s.candE[pos]]])
 			p.tftPartnerCount++
 		}
 	}
 	// If the optimistic pick just earned a TFT slot, the optimistic slot
 	// moves to a fresh choked neighbor (BitTorrent rotates it early).
-	if p.optimistic >= 0 && p.unchoked[p.optimistic] {
+	if p.optimistic >= 0 && s.unchoked[p.optimistic] {
 		s.rotateOptimisticPeer(p)
 	}
 }
@@ -185,20 +175,21 @@ func (s *Swarm) rechokeLeecher(p *peer) {
 // spread over the swarm instead of captured by one peer.
 func (s *Swarm) rechokeSeed(p *peer) {
 	p.optimistic = -1 // seeds fold the optimistic slot into rotation
-	var cands []int
-	for k, j := range p.neighbors {
-		p.unchoked[k] = false
-		q := s.peers[j]
-		if !q.departed && s.interestedIn(q, p) {
-			cands = append(cands, k)
+	nc := 0
+	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+		s.unchoked[e] = false
+		q := &s.peers[s.nbr[e]]
+		if !q.departed && s.wantsAlong(q, p, s.rev[e]) {
+			s.candE[nc] = e
+			nc++
 		}
 	}
 	slots := s.opt.TFTSlots + s.opt.OptimisticSlots
-	for i := 0; i < slots && len(cands) > 0; i++ {
-		pick := s.r.Intn(len(cands))
-		p.unchoked[cands[pick]] = true
-		cands[pick] = cands[len(cands)-1]
-		cands = cands[:len(cands)-1]
+	for i := 0; i < slots && nc > 0; i++ {
+		pick := s.r.Intn(nc)
+		s.unchoked[s.candE[pick]] = true
+		s.candE[pick] = s.candE[nc-1]
+		nc--
 	}
 }
 
@@ -209,15 +200,16 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 		return
 	}
 	p.optimistic = -1
-	var cands []int
-	for k, j := range p.neighbors {
-		q := s.peers[j]
-		if !p.unchoked[k] && !q.departed && s.interestedIn(q, p) {
-			cands = append(cands, k)
+	nc := 0
+	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+		q := &s.peers[s.nbr[e]]
+		if !s.unchoked[e] && !q.departed && s.wantsAlong(q, p, s.rev[e]) {
+			s.candE[nc] = e
+			nc++
 		}
 	}
-	if len(cands) > 0 {
-		p.optimistic = cands[s.r.Intn(len(cands))]
+	if nc > 0 {
+		p.optimistic = s.candE[s.r.Intn(nc)]
 	}
 }
 
@@ -230,56 +222,59 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 // and spills leftover capacity into the next piece, so no bandwidth is
 // burned on completed data.
 func (s *Swarm) transfer() {
-	for _, u := range s.peers {
+	P := s.opt.Pieces
+	for i := range s.peers {
+		u := &s.peers[i]
 		if u.departed || u.capacity <= 0 {
 			continue
 		}
-		var active []int
-		for k, j := range u.neighbors {
-			if !u.unchoked[k] && k != u.optimistic {
+		na := 0
+		for e := s.off[i]; e < s.off[i+1]; e++ {
+			if !s.unchoked[e] && e != u.optimistic {
 				continue
 			}
-			if s.interestedIn(s.peers[j], u) {
-				active = append(active, k)
+			v := &s.peers[s.nbr[e]]
+			if s.wantsAlong(v, u, s.rev[e]) {
+				s.active[na] = e
+				na++
 			}
 		}
-		if len(active) == 0 {
+		if na == 0 {
 			continue
 		}
-		share := u.capacity / float64(len(active))
-		for _, k := range active {
-			v := s.peers[u.neighbors[k]]
-			kv := v.indexOf(u.id)
-			if kv < 0 {
-				continue
-			}
+		share := u.capacity / float64(na)
+		for a := 0; a < na; a++ {
+			e := s.active[a]
+			v := &s.peers[s.nbr[e]]
+			ev := s.rev[e] // v's edge back to u: no neighbor-list search
 			if s.opt.ContentUnlimited {
-				v.recvWindow[kv] += share
+				s.recvWindow[ev] += share
 				u.totalUp += share
 				v.totalDown += share
 				continue
 			}
 			remaining := share
 			for remaining > 1e-9 && !v.done {
-				piece := v.inflight[kv]
+				piece := int(s.inflight[ev])
 				if piece < 0 || v.have.has(piece) || !u.have.has(piece) {
 					piece = s.pickPiece(v, u)
-					v.inflight[kv] = piece
+					s.inflight[ev] = int32(piece)
 					if piece < 0 {
 						break // u has nothing v needs
 					}
 				}
-				need := s.opt.PieceKbit - v.pieceProgress[piece]
+				idx := v.id*P + piece
+				need := s.opt.PieceKbit - s.pieceProgress[idx]
 				amt := remaining
 				if need < amt {
 					amt = need
 				}
-				v.pieceProgress[piece] += amt
-				v.recvWindow[kv] += amt
+				s.pieceProgress[idx] += amt
+				s.recvWindow[ev] += amt
 				u.totalUp += amt
 				v.totalDown += amt
 				remaining -= amt
-				if v.pieceProgress[piece] >= s.opt.PieceKbit {
+				if s.pieceProgress[idx] >= s.opt.PieceKbit {
 					v.have.set(piece)
 					s.completePiece(v, piece)
 				}
@@ -294,23 +289,26 @@ func (s *Swarm) transfer() {
 // pieces remain, it joins the rarest of those — progress is shared, so this
 // accelerates completion instead of duplicating work.
 func (s *Swarm) pickPiece(v, u *peer) int {
-	inflight := make(map[int]bool, len(v.inflight))
-	for _, piece := range v.inflight {
-		if piece >= 0 {
-			inflight[piece] = true
+	// Stamp v's in-flight pieces into the scratch mark array; a fresh stamp
+	// per call avoids both clearing and allocating.
+	s.stamp++
+	for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+		if piece := s.inflight[e]; piece >= 0 {
+			s.mark[piece] = s.stamp
 		}
 	}
-	bestFresh, bestFreshAvail := -1, int(^uint(0)>>1)
-	bestAny, bestAnyAvail := -1, int(^uint(0)>>1)
+	base := v.id * s.opt.Pieces
+	bestFresh, bestFreshAvail := -1, int32(1<<30)
+	bestAny, bestAnyAvail := -1, int32(1<<30)
 	for piece := 0; piece < s.opt.Pieces; piece++ {
 		if v.have.has(piece) || !u.have.has(piece) {
 			continue
 		}
-		a := v.avail[piece]
+		a := s.avail[base+piece]
 		if a < bestAnyAvail {
 			bestAny, bestAnyAvail = piece, a
 		}
-		if !inflight[piece] && a < bestFreshAvail {
+		if s.mark[piece] != s.stamp && a < bestFreshAvail {
 			bestFresh, bestFreshAvail = piece, a
 		}
 	}
@@ -320,27 +318,33 @@ func (s *Swarm) pickPiece(v, u *peer) int {
 	return bestAny
 }
 
-// completePiece finalizes v's acquisition of piece: bookkeeping, have
-// broadcast, and completion detection.
+// completePiece finalizes v's acquisition of piece: incremental interest and
+// availability bookkeeping, in-flight cleanup, and completion detection.
 func (s *Swarm) completePiece(v *peer, piece int) {
 	v.haveCount++
-	for k := range v.inflight {
-		if v.inflight[k] == piece {
-			v.inflight[k] = -1
+	P := s.opt.Pieces
+	for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+		if s.inflight[e] == int32(piece) {
+			s.inflight[e] = -1
 		}
-	}
-	for _, j := range v.neighbors {
-		q := s.peers[j]
+		q := &s.peers[s.nbr[e]]
 		if q.departed {
 			continue
 		}
-		q.avail[piece]++
+		s.avail[q.id*P+piece]++
+		if q.have.has(piece) {
+			// v no longer misses this piece from q.
+			s.want[e]--
+		} else {
+			// q now misses this piece from v.
+			s.want[s.rev[e]]++
+		}
 	}
 	if v.haveCount == s.opt.Pieces {
 		v.done = true
 		v.doneRound = s.round + 1
-		for k := range v.inflight {
-			v.inflight[k] = -1
+		for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+			s.inflight[e] = -1
 		}
 	}
 }

@@ -13,10 +13,23 @@
 // kbit/s and pieces have a size in kbit, so a peer with capacity c uploads
 // c kbit per round, split equally among its active (unchoked and
 // interested) transfer partners.
+//
+// # Engine layout
+//
+// The stepping hot path is allocation-free. All per-connection state lives
+// in flat CSR-style arrays owned by the Swarm: edge e ∈ [off[i], off[i+1])
+// runs from peer i to peer nbr[e], and rev[e] is the index of the opposite
+// edge (the slot peer nbr[e] uses for i), built once at wiring time so no
+// step ever searches a neighbor list. Interest (want) and piece rarity
+// (avail) are maintained incrementally on piece completion and departure
+// instead of rescanning bitfields. Candidate and active lists used by the
+// choking and transfer logic are preallocated scratch buffers sized to the
+// maximum degree.
 package btsim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"stratmatch/internal/rng"
 )
@@ -91,6 +104,8 @@ func (o *Options) withDefaults() Options {
 	return opt
 }
 
+// peer holds the per-peer scalar state. All per-connection and per-piece
+// state lives in the Swarm's flat arrays (see the package comment).
 type peer struct {
 	id       int
 	capacity float64
@@ -102,29 +117,9 @@ type peer struct {
 	done      bool // has every piece (seed or finished leecher)
 	doneRound int  // round at which the peer completed (-1 while leeching)
 
-	neighbors []int
-	// recvWindow[k] is the kbit received from neighbors[k] during the
-	// current choke interval; recvRate[k] is the rate measured over the
-	// previous interval (the "last 10 seconds" of the TFT policy).
-	recvWindow []float64
-	recvRate   []float64
-
-	// unchoked[k] reports whether neighbors[k] currently holds one of our
-	// TFT slots; optimistic is the index into neighbors of the optimistic
-	// unchoke (−1 if none).
-	unchoked   []bool
-	optimistic int
-
-	// inflight[k] is the piece currently streamed from neighbors[k]
-	// (−1 when idle). Several connections may feed the same piece — like
-	// BitTorrent's block-level parallel download — all contributing to the
-	// shared pieceProgress, so overlap wastes nothing.
-	inflight []int
-	// pieceProgress[p] is the accumulated kbit towards piece p.
-	pieceProgress []float64
-
-	// avail[p] counts how many neighbors have piece p (rarest-first input).
-	avail []int
+	// optimistic is the absolute edge index of the optimistic unchoke
+	// (−1 if none).
+	optimistic int32
 
 	totalUp   float64
 	totalDown float64
@@ -137,15 +132,53 @@ type peer struct {
 
 // Swarm is a running simulation. Create with New, advance with Run or Step.
 type Swarm struct {
-	opt    Options
-	peers  []*peer
-	r      *rng.RNG
-	round  int
-	nextID int
+	opt   Options
+	peers []peer
+	r     *rng.RNG
+	round int
 
 	// rank[i] is peer i's global bandwidth rank (0 = fastest) among the
 	// initial population; the stratification metrics compare partner ranks.
 	rank []int
+
+	// CSR edge state. Edge e ∈ [off[i], off[i+1]) runs from peer i to peer
+	// nbr[e]; rev[e] is the opposite edge. Neighbor blocks are sorted by
+	// peer id.
+	off []int32
+	nbr []int32
+	rev []int32
+
+	// recvWindow[e] is the kbit received along edge e during the current
+	// choke interval; recvRate[e] is the rate measured over the previous
+	// interval (the "last 10 seconds" of the TFT policy).
+	recvWindow []float64
+	recvRate   []float64
+	// unchoked[e] reports whether the target of edge e currently holds one
+	// of the owner's TFT slots.
+	unchoked []bool
+	// inflight[e] is the piece the owner of e currently streams from its
+	// target (−1 when idle). Several connections may feed the same piece —
+	// like BitTorrent's block-level parallel download — all contributing to
+	// the shared pieceProgress, so overlap wastes nothing.
+	inflight []int32
+	// want[e] counts the pieces the target of e has that the owner lacks;
+	// want[e] > 0 means the owner is interested in the target. Maintained
+	// incrementally by completePiece.
+	want []int32
+
+	// avail[i*Pieces+p] counts how many of i's neighbors have piece p
+	// (rarest-first input); pieceProgress[i*Pieces+p] is the accumulated
+	// kbit towards piece p.
+	avail         []int32
+	pieceProgress []float64
+
+	// Scratch buffers (sized to the maximum degree / piece count) reused by
+	// every call on the stepping hot path — Step never allocates.
+	candE    []int32
+	candRate []float64
+	active   []int32
+	mark     []uint64 // pickPiece in-flight stamps, one per piece
+	stamp    uint64
 }
 
 // New builds a swarm. Peer ids 0..Leechers-1 are leechers,
@@ -167,22 +200,19 @@ func New(o Options) (*Swarm, error) {
 	case opt.TFTSlots < 1:
 		return nil, fmt.Errorf("btsim: %d TFT slots", opt.TFTSlots)
 	}
-	s := &Swarm{opt: opt, r: rng.New(opt.Seed), peers: make([]*peer, 0, n)}
+	s := &Swarm{opt: opt, r: rng.New(opt.Seed), peers: make([]peer, n)}
 	for i := 0; i < n; i++ {
 		capKbps := 400.0
 		if opt.UploadKbps != nil {
 			capKbps = opt.UploadKbps[i]
 		}
-		p := &peer{
-			id:            i,
-			capacity:      capKbps,
-			isSeed:        i >= opt.Leechers,
-			have:          newBitset(opt.Pieces),
-			avail:         make([]int, opt.Pieces),
-			pieceProgress: make([]float64, opt.Pieces),
-			optimistic:    -1,
-			doneRound:     -1,
-		}
+		p := &s.peers[i]
+		p.id = i
+		p.capacity = capKbps
+		p.isSeed = i >= opt.Leechers
+		p.have = newBitset(opt.Pieces)
+		p.optimistic = -1
+		p.doneRound = -1
 		if p.isSeed {
 			p.have.setAll()
 			p.haveCount = opt.Pieces
@@ -200,7 +230,6 @@ func New(o Options) (*Swarm, error) {
 				p.doneRound = 0
 			}
 		}
-		s.peers = append(s.peers, p)
 	}
 	s.rank = bandwidthRanks(s.peers)
 	s.wireNeighbors()
@@ -209,7 +238,7 @@ func New(o Options) (*Swarm, error) {
 
 // bandwidthRanks returns rank[i] = position of peer i when sorted by
 // decreasing capacity (ties broken by id, keeping ranks strict).
-func bandwidthRanks(peers []*peer) []int {
+func bandwidthRanks(peers []peer) []int {
 	order := make([]int, len(peers))
 	for i := range order {
 		order[i] = i
@@ -219,7 +248,7 @@ func bandwidthRanks(peers []*peer) []int {
 	// in the hot path. n log n vs n² is irrelevant at construction time.
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0; j-- {
-			a, b := peers[order[j-1]], peers[order[j]]
+			a, b := &peers[order[j-1]], &peers[order[j]]
 			if a.capacity > b.capacity || (a.capacity == b.capacity && a.id < b.id) {
 				break
 			}
@@ -234,7 +263,9 @@ func bandwidthRanks(peers []*peer) []int {
 }
 
 // wireNeighbors gives every peer NeighborCount random distinct neighbors
-// (symmetric: if the tracker introduces a to b, both know each other).
+// (symmetric: if the tracker introduces a to b, both know each other) and
+// builds the CSR edge arrays, reverse-edge tables, and the incremental
+// interest and availability bookkeeping.
 func (s *Swarm) wireNeighbors() {
 	n := len(s.peers)
 	adj := make([]map[int]struct{}, n)
@@ -251,33 +282,88 @@ func (s *Swarm) wireNeighbors() {
 			adj[j][i] = struct{}{}
 		}
 	}
+
+	// CSR offsets and sorted neighbor blocks.
+	s.off = make([]int32, n+1)
+	total := 0
+	maxDeg := 0
 	for i, set := range adj {
-		p := s.peers[i]
-		p.neighbors = make([]int, 0, len(set))
+		s.off[i] = int32(total)
+		total += len(set)
+		if len(set) > maxDeg {
+			maxDeg = len(set)
+		}
+	}
+	s.off[n] = int32(total)
+	s.nbr = make([]int32, total)
+	for i, set := range adj {
+		blk := s.nbr[s.off[i]:s.off[i+1]]
+		k := 0
 		for j := range set {
-			p.neighbors = append(p.neighbors, j)
+			blk[k] = int32(j)
+			k++
 		}
 		// Deterministic order: sort ascending (insertion, small lists).
-		for a := 1; a < len(p.neighbors); a++ {
-			for b := a; b > 0 && p.neighbors[b-1] > p.neighbors[b]; b-- {
-				p.neighbors[b-1], p.neighbors[b] = p.neighbors[b], p.neighbors[b-1]
+		for a := 1; a < len(blk); a++ {
+			for b := a; b > 0 && blk[b-1] > blk[b]; b-- {
+				blk[b-1], blk[b] = blk[b], blk[b-1]
 			}
 		}
-		k := len(p.neighbors)
-		p.recvWindow = make([]float64, k)
-		p.recvRate = make([]float64, k)
-		p.unchoked = make([]bool, k)
-		p.inflight = make([]int, k)
-		for idx := range p.inflight {
-			p.inflight[idx] = -1
+	}
+
+	// Reverse-edge table: rev[e] is j's edge back to i, located once by
+	// binary search at wiring time so the hot paths never search.
+	s.rev = make([]int32, total)
+	for i := 0; i < n; i++ {
+		for e := s.off[i]; e < s.off[i+1]; e++ {
+			j := s.nbr[e]
+			lo, hi := s.off[j], s.off[j+1]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if s.nbr[mid] < int32(i) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			s.rev[e] = lo
 		}
-		for _, j := range p.neighbors {
-			q := s.peers[j]
-			for piece := 0; piece < s.opt.Pieces; piece++ {
-				if q.have.has(piece) {
-					p.avail[piece]++
+	}
+
+	// Per-edge transfer state.
+	s.recvWindow = make([]float64, total)
+	s.recvRate = make([]float64, total)
+	s.unchoked = make([]bool, total)
+	s.inflight = make([]int32, total)
+	for e := range s.inflight {
+		s.inflight[e] = -1
+	}
+
+	// Interest and availability bookkeeping, seeded from the initial
+	// bitfields and maintained incrementally afterwards.
+	P := s.opt.Pieces
+	s.want = make([]int32, total)
+	s.avail = make([]int32, n*P)
+	s.pieceProgress = make([]float64, n*P)
+	for i := 0; i < n; i++ {
+		p := &s.peers[i]
+		base := i * P
+		for e := s.off[i]; e < s.off[i+1]; e++ {
+			q := &s.peers[s.nbr[e]]
+			s.want[e] = int32(p.have.countMissingIn(q.have))
+			for wi, w := range q.have.words {
+				for w != 0 {
+					piece := wi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					s.avail[base+piece]++
 				}
 			}
 		}
 	}
+
+	// Scratch buffers for the stepping hot path.
+	s.candE = make([]int32, maxDeg)
+	s.candRate = make([]float64, maxDeg)
+	s.active = make([]int32, maxDeg)
+	s.mark = make([]uint64, P)
 }

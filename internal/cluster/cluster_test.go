@@ -106,7 +106,7 @@ func TestNormalBudgetsPositive(t *testing.T) {
 
 func TestSigmaSweepShape(t *testing.T) {
 	sigmas := []float64{0, 0.3, 1.0}
-	pts := SigmaSweep(4200, 6, sigmas, 2, 7) // 4200 divisible by b̄+1 = 7
+	pts := SigmaSweep(4200, 6, sigmas, 2, 7, 0) // 4200 divisible by b̄+1 = 7
 	if len(pts) != 3 {
 		t.Fatalf("%d points", len(pts))
 	}
@@ -127,7 +127,7 @@ func TestSigmaSweepShape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	rows := Table1(6000, []int{2, 3, 4}, 0.2, 2, 11)
+	rows := Table1(6000, []int{2, 3, 4}, 0.2, 2, 11, 0)
 	if len(rows) != 3 {
 		t.Fatalf("%d rows", len(rows))
 	}

@@ -1,9 +1,7 @@
 package cluster
 
 import (
-	"runtime"
-	"sync"
-
+	"stratmatch/internal/par"
 	"stratmatch/internal/rng"
 )
 
@@ -16,51 +14,33 @@ type SweepPoint struct {
 
 // SigmaSweep evaluates AnalyzeNormal over the given σ values, averaging
 // `reps` independent samples per σ. Points are computed in parallel over a
-// bounded worker pool; the output preserves the order of sigmas. The sweep
-// reproduces Figure 6's phase transition: mean cluster size explodes around
-// σ ≈ 0.15 while the MMO drops.
-func SigmaSweep(n int, mean float64, sigmas []float64, reps int, seed uint64) []SweepPoint {
+// bounded worker pool (workers ≤ 0 means GOMAXPROCS); the output preserves
+// the order of sigmas, and every point derives its seed from its index, so
+// the result is identical for any worker count. The sweep reproduces
+// Figure 6's phase transition: mean cluster size explodes around σ ≈ 0.15
+// while the MMO drops.
+func SigmaSweep(n int, mean float64, sigmas []float64, reps int, seed uint64, workers int) []SweepPoint {
 	if reps < 1 {
 		reps = 1
 	}
 	points := make([]SweepPoint, len(sigmas))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sigmas) {
-		workers = len(sigmas)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				sigma := sigmas[idx]
-				// Derive a per-point seed so results do not depend on
-				// worker scheduling.
-				r := rng.New(seed + uint64(idx)*0x9e3779b9)
-				var sumSize, sumMMO float64
-				for rep := 0; rep < reps; rep++ {
-					rp := AnalyzeNormal(n, mean, sigma, r)
-					sumSize += rp.MeanClusterSize
-					sumMMO += rp.MMO
-				}
-				points[idx] = SweepPoint{
-					Sigma:           sigma,
-					MeanClusterSize: sumSize / float64(reps),
-					MMO:             sumMMO / float64(reps),
-				}
-			}
-		}()
-	}
-	for idx := range sigmas {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
+	par.ForEach(len(sigmas), workers, func(idx int) {
+		sigma := sigmas[idx]
+		// Derive a per-point seed so results do not depend on worker
+		// scheduling.
+		r := rng.New(seed + uint64(idx)*0x9e3779b9)
+		var sumSize, sumMMO float64
+		for rep := 0; rep < reps; rep++ {
+			rp := AnalyzeNormal(n, mean, sigma, r)
+			sumSize += rp.MeanClusterSize
+			sumMMO += rp.MMO
+		}
+		points[idx] = SweepPoint{
+			Sigma:           sigma,
+			MeanClusterSize: sumSize / float64(reps),
+			MMO:             sumMMO / float64(reps),
+		}
+	})
 	return points
 }
 
@@ -77,33 +57,28 @@ type TableRow struct {
 
 // Table1 reproduces the paper's Table 1 for b in bs (the paper uses 2..7),
 // with `reps` independent samples for the stochastic normal-budget half.
-func Table1(n int, bs []int, sigma float64, reps int, seed uint64) []TableRow {
+// Columns are computed in parallel over `workers` goroutines (0 =
+// GOMAXPROCS) with per-column sub-streams, so the rows are identical for
+// any worker count.
+func Table1(n int, bs []int, sigma float64, reps int, seed uint64, workers int) []TableRow {
 	rows := make([]TableRow, len(bs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, b := range bs {
-		wg.Add(1)
-		go func(i, b int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cst := AnalyzeConstant(n, b)
-			r := rng.New(seed + uint64(b)*0x51_7c_c1b7)
-			var sumSize, sumMMO float64
-			for rep := 0; rep < reps; rep++ {
-				rp := AnalyzeNormal(n, float64(b), sigma, r)
-				sumSize += rp.MeanClusterSize
-				sumMMO += rp.MMO
-			}
-			rows[i] = TableRow{
-				B:                 b,
-				ConstClusterSize:  cst.MeanClusterSize,
-				ConstMMO:          cst.MMO,
-				NormalClusterSize: sumSize / float64(reps),
-				NormalMMO:         sumMMO / float64(reps),
-			}
-		}(i, b)
-	}
-	wg.Wait()
+	par.ForEach(len(bs), workers, func(i int) {
+		b := bs[i]
+		cst := AnalyzeConstant(n, b)
+		r := rng.New(seed + uint64(b)*0x51_7c_c1b7)
+		var sumSize, sumMMO float64
+		for rep := 0; rep < reps; rep++ {
+			rp := AnalyzeNormal(n, float64(b), sigma, r)
+			sumSize += rp.MeanClusterSize
+			sumMMO += rp.MMO
+		}
+		rows[i] = TableRow{
+			B:                 b,
+			ConstClusterSize:  cst.MeanClusterSize,
+			ConstMMO:          cst.MMO,
+			NormalClusterSize: sumSize / float64(reps),
+			NormalMMO:         sumMMO / float64(reps),
+		}
+	})
 	return rows
 }

@@ -35,16 +35,33 @@ type Config struct {
 
 // NewConfig returns an empty configuration for peers with the given slot
 // budgets. The slice is copied; budgets must be non-negative.
+//
+// Mate storage is carved out of a single slab sized to Σ b(p): peer p's mate
+// list starts empty with capacity b(p), so matching never allocates — stable
+// solvers and initiative dynamics construct configurations with a constant
+// number of allocations regardless of population size.
 func NewConfig(budget []int) *Config {
+	total := 0
 	for i, b := range budget {
 		if b < 0 {
 			panic(fmt.Sprintf("core: negative budget %d for peer %d", b, i))
 		}
+		total += b
 	}
-	return &Config{
+	c := &Config{
 		budget: append([]int(nil), budget...),
 		mates:  make([][]int, len(budget)),
 	}
+	slab := make([]int, total)
+	off := 0
+	for i, b := range budget {
+		// Full-slice expression caps the segment at b entries, so an append
+		// past a raised budget reallocates privately instead of bleeding
+		// into the next peer's segment.
+		c.mates[i] = slab[off : off : off+b]
+		off += b
+	}
+	return c
 }
 
 // NewUniformConfig returns an empty configuration where every one of the n
@@ -207,12 +224,11 @@ func (c *Config) Propose(i, j int) (dropped []int) {
 
 // Clone returns a deep copy of the configuration.
 func (c *Config) Clone() *Config {
-	cp := &Config{
-		budget: append([]int(nil), c.budget...),
-		mates:  make([][]int, len(c.mates)),
-	}
+	cp := NewConfig(c.budget)
 	for i, m := range c.mates {
-		cp.mates[i] = ints.Clone(m)
+		// Budgets bound mate-list lengths, so the copies stay inside the
+		// fresh slab segments.
+		cp.mates[i] = append(cp.mates[i], m...)
 	}
 	return cp
 }

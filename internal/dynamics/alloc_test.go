@@ -1,0 +1,30 @@
+package dynamics
+
+import (
+	"testing"
+
+	"stratmatch/internal/core"
+	"stratmatch/internal/graph"
+	"stratmatch/internal/rng"
+)
+
+// TestStepZeroAllocSteadyState pins the initiative loop's allocation
+// behavior: once the configuration has converged to the stable state,
+// Step (draw a peer, scan for a blocking mate, find none) is allocation-
+// free. Together with core.Config's slab-backed mate storage this keeps
+// long dynamics runs out of the garbage collector entirely.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	r := rng.New(5)
+	g := graph.ErdosRenyiMeanDegree(400, 10, r.Split())
+	s, err := NewUniform(g, 2, core.BestMateStrategy{}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(200, 1) // far beyond the ~d base units convergence takes
+	if s.Disorder() != 0 {
+		t.Fatalf("simulator did not converge (disorder %v); steady state undefined", s.Disorder())
+	}
+	if allocs := testing.AllocsPerRun(500, func() { s.Step() }); allocs != 0 {
+		t.Fatalf("Simulator.Step allocates %.2f objects per initiative at steady state, want 0", allocs)
+	}
+}

@@ -25,34 +25,41 @@ func Strategies(cfg Config) (*Result, error) {
 		Chart:       textplot.Chart{XLabel: "initiatives per peer", YLabel: "disorder"},
 		TableHeader: []string{"strategy", "units_to_converge"},
 	}
-	mk := func(name string, strat func(r *rng.RNG) core.Strategy) (float64, error) {
+	// The three strategies share one root seed but draw from their own
+	// sub-streams, so they can run in parallel.
+	strategies := []struct {
+		name  string
+		strat func(r *rng.RNG) core.Strategy
+	}{
+		{"best mate", func(*rng.RNG) core.Strategy { return core.BestMateStrategy{} }},
+		{"decremental", func(*rng.RNG) core.Strategy { return core.NewDecrementalStrategy(n) }},
+		{"random", func(r *rng.RNG) core.Strategy { return core.NewRandomStrategy(r) }},
+	}
+	times := make([]float64, len(strategies))
+	series := make([]textplot.Series, len(strategies))
+	err := cfg.forEach(len(strategies), func(i int) error {
 		r := rng.New(cfg.Seed)
 		g := graph.ErdosRenyiMeanDegree(n, d, r.Split())
-		sim, err := dynamics.New(g, uniformInts(n, 1), strat(r.Split()), r.Split())
+		sim, err := dynamics.New(g, uniformInts(n, 1), strategies[i].strat(r.Split()), r.Split())
 		if err != nil {
-			return 0, err
+			return err
 		}
 		traj := sim.Run(150, 1)
-		res.Series = append(res.Series, trajectorySeries(name, traj))
+		series[i] = trajectorySeries(strategies[i].name, traj)
+		times[i] = math.Inf(1)
 		for _, pt := range traj {
 			if pt.Disorder == 0 {
-				return pt.Time, nil
+				times[i] = pt.Time
+				break
 			}
 		}
-		return math.Inf(1), nil
-	}
-	best, err := mk("best mate", func(*rng.RNG) core.Strategy { return core.BestMateStrategy{} })
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	decr, err := mk("decremental", func(*rng.RNG) core.Strategy { return core.NewDecrementalStrategy(n) })
-	if err != nil {
-		return nil, err
-	}
-	rand, err := mk("random", func(r *rng.RNG) core.Strategy { return core.NewRandomStrategy(r) })
-	if err != nil {
-		return nil, err
-	}
+	res.Series = append(res.Series, series...)
+	best, decr, rand := times[0], times[1], times[2]
 	res.TableRows = [][]float64{{1, best}, {2, decr}, {3, rand}}
 	res.noteCheck(!math.IsInf(best, 1) && !math.IsInf(decr, 1),
 		"best-mate (%.0f units) and decremental (%.0f units) converge", best, decr)
@@ -95,12 +102,26 @@ func Slots(cfg Config) (*Result, error) {
 	}
 	uploads := bandwidth.RankBandwidths(bandwidth.Saroiu(), n)
 	var partnerQuality [4]float64
-	for bDev := 1; bDev <= 3; bDev++ {
-		rep := cluster.AnalyzeConstant((n/(bDev+1))*(bDev+1), bDev)
-		quality, eff := deviationStats(uploads, 3, bDev, 20, draws, cfg.Seed)
-		partnerQuality[bDev] = quality
+	// The three deviation budgets are independent Monte-Carlo studies with
+	// per-budget sub-streams; fan them out.
+	type devRow struct {
+		rep          cluster.Report
+		quality, eff float64
+	}
+	rows := make([]devRow, 3)
+	if err := cfg.forEach(3, func(i int) error {
+		bDev := i + 1
+		rows[i].rep = cluster.AnalyzeConstant((n/(bDev+1))*(bDev+1), bDev)
+		rows[i].quality, rows[i].eff = deviationStats(uploads, 3, bDev, 20, draws, cfg.Seed)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, row := range rows {
+		bDev := i + 1
+		partnerQuality[bDev] = row.quality
 		res.TableRows = append(res.TableRows, []float64{
-			float64(bDev), rep.MeanClusterSize, rep.MMO, quality, eff,
+			float64(bDev), row.rep.MeanClusterSize, row.rep.MMO, row.quality, row.eff,
 		})
 	}
 	res.noteCheck(res.TableRows[0][1] == 2 && res.TableRows[1][1] == 3,

@@ -125,7 +125,7 @@ func Figure9(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := analytic.MonteCarloChoices(n, p, b0, peer, cfg.mcSamples(), cfg.Seed)
+	mc, err := analytic.MonteCarloChoicesWorkers(n, p, b0, peer, cfg.mcSamples(), cfg.Seed, cfg.workerCount())
 	if err != nil {
 		return nil, err
 	}
@@ -169,12 +169,16 @@ func FluidLimit(cfg Config) (*Result, error) {
 		Chart:       textplot.Chart{XLabel: "beta", YLabel: "density"},
 		TableHeader: []string{"n", "sup_error"},
 	}
-	var supErrors []float64
 	ns := []int{cfg.scaled(500), cfg.scaled(1000), cfg.scaled(4000)}
-	for _, n := range ns {
+	// The per-n model evaluations are deterministic and independent: fan
+	// them out and assemble in order.
+	supErrors := make([]float64, len(ns))
+	series := make([]textplot.Series, len(ns))
+	if err := cfg.forEach(len(ns), func(i int) error {
+		n := ns[i]
 		pts, err := analytic.CompareFluid(n, d, 0.5, 50)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s := textplot.Series{Name: seriesName("model n=", n)}
 		sup := 0.0
@@ -185,9 +189,14 @@ func FluidLimit(cfg Config) (*Result, error) {
 				sup = e
 			}
 		}
-		res.Series = append(res.Series, s)
-		supErrors = append(supErrors, sup)
-		res.TableRows = append(res.TableRows, []float64{float64(n), sup})
+		series[i], supErrors[i] = s, sup
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		res.Series = append(res.Series, series[i])
+		res.TableRows = append(res.TableRows, []float64{float64(n), supErrors[i]})
 	}
 	fluid := textplot.Series{Name: "fluid limit d*exp(-beta*d)"}
 	for k := 1; k <= 50; k++ {

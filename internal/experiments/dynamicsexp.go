@@ -19,10 +19,23 @@ func trajectorySeries(name string, traj dynamics.Trajectory) textplot.Series {
 	return s
 }
 
+// splitPairs derives 2·n independent sub-streams from one root seed, in a
+// fixed order. Parallel experiments derive all their randomness up front
+// like this, then fan the tasks out: the task results cannot depend on
+// worker count or scheduling.
+func splitPairs(seed uint64, n int) [][2]*rng.RNG {
+	r := rng.New(seed)
+	pairs := make([][2]*rng.RNG, n)
+	for i := range pairs {
+		pairs[i] = [2]*rng.RNG{r.Split(), r.Split()}
+	}
+	return pairs
+}
+
 // Figure1 reproduces the paper's Figure 1: starting from the empty
 // configuration, disorder versus initiatives-per-peer for
 // (n,d) ∈ {(100,50), (1000,10), (1000,50)} with best-mate initiatives and
-// 1-matching.
+// 1-matching. The three trajectories run in parallel.
 func Figure1(cfg Config) (*Result, error) {
 	res := &Result{
 		Chart: textplot.Chart{XLabel: "initiatives per peer", YLabel: "disorder"},
@@ -33,19 +46,29 @@ func Figure1(cfg Config) (*Result, error) {
 	}{
 		{cfg.scaled(100), 50}, {cfg.scaled(1000), 10}, {cfg.scaled(1000), 50},
 	}
-	r := rng.New(cfg.Seed)
-	for _, pr := range params {
-		d := pr.d
-		if d > float64(pr.n-1) {
-			d = float64(pr.n - 1)
+	for i := range params {
+		if params[i].d > float64(params[i].n-1) {
+			params[i].d = float64(params[i].n - 1)
 		}
-		g := graph.ErdosRenyiMeanDegree(pr.n, d, r.Split())
-		sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, r.Split())
+	}
+	rngs := splitPairs(cfg.Seed, len(params))
+	trajs := make([]dynamics.Trajectory, len(params))
+	err := cfg.forEach(len(params), func(i int) error {
+		pr := params[i]
+		g := graph.ErdosRenyiMeanDegree(pr.n, pr.d, rngs[i][0])
+		sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, rngs[i][1])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		traj := sim.Run(40, 4)
-		name := fmt.Sprintf("n=%d,d=%.0f", pr.n, d)
+		trajs[i] = sim.Run(40, 4)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, pr := range params {
+		traj := trajs[i]
+		name := fmt.Sprintf("n=%d,d=%.0f", pr.n, pr.d)
 		res.Series = append(res.Series, trajectorySeries(name, traj))
 		last := traj[len(traj)-1]
 		res.noteCheck(last.Disorder == 0,
@@ -60,33 +83,42 @@ func Figure1(cfg Config) (*Result, error) {
 				break
 			}
 		}
-		res.noteCheck(converged >= 0 && converged <= 1.6*d,
+		res.noteCheck(converged >= 0 && converged <= 1.6*pr.d,
 			"%s: stable configuration reached by %.2f base units (paper: ~d=%.0f)",
-			name, converged, d)
+			name, converged, pr.d)
 	}
 	return res, nil
 }
 
 // Figure2 reproduces Figure 2: starting from the stable configuration of a
 // (n=1000, d=10) 1-matching, remove one peer and watch the disorder decay.
-// The paper removes peers 1, 100, 300 and 600 (1-based).
+// The paper removes peers 1, 100, 300 and 600 (1-based). The four removal
+// scenarios run in parallel.
 func Figure2(cfg Config) (*Result, error) {
 	res := &Result{
 		Chart: textplot.Chart{XLabel: "initiatives per peer", YLabel: "disorder"},
 	}
 	n := cfg.scaled(1000)
 	removals := []int{0, n / 10, 3 * n / 10, 6 * n / 10}
-	r := rng.New(cfg.Seed)
-	initialDisorders := make([]float64, 0, len(removals))
-	for _, victim := range removals {
-		g := graph.ErdosRenyiMeanDegree(n, 10, r.Split())
-		sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, r.Split())
+	rngs := splitPairs(cfg.Seed, len(removals))
+	trajs := make([]dynamics.Trajectory, len(removals))
+	err := cfg.forEach(len(removals), func(i int) error {
+		g := graph.ErdosRenyiMeanDegree(n, 10, rngs[i][0])
+		sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, rngs[i][1])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sim.SetStable()
-		sim.RemovePeer(victim)
-		traj := sim.Run(10, 10)
+		sim.RemovePeer(removals[i])
+		trajs[i] = sim.Run(10, 10)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	initialDisorders := make([]float64, 0, len(removals))
+	for i, victim := range removals {
+		traj := trajs[i]
 		name := fmt.Sprintf("peer %d removed", victim+1)
 		res.Series = append(res.Series, trajectorySeries(name, traj))
 		initialDisorders = append(initialDisorders, traj[0].Disorder)
@@ -106,7 +138,8 @@ func Figure2(cfg Config) (*Result, error) {
 
 // Figure3 reproduces Figure 3: disorder trajectories from the empty
 // configuration under continuous churn at rates {30, 10, 3, 0.5, 0} events
-// per 1000 initiatives (n = 1000, d = 10, 1-matching).
+// per 1000 initiatives (n = 1000, d = 10, 1-matching). All rate×replica
+// runs fan out in parallel.
 func Figure3(cfg Config) (*Result, error) {
 	res := &Result{
 		Chart: textplot.Chart{XLabel: "initiatives per peer", YLabel: "disorder"},
@@ -115,20 +148,29 @@ func Figure3(cfg Config) (*Result, error) {
 	attach := 10.0 / float64(n-1)
 	rates := []float64{0.03, 0.01, 0.003, 0.0005, 0}
 	names := []string{"churn=30/1000", "churn=10/1000", "churn=3/1000", "churn=0.5/1000", "no churn"}
-	r := rng.New(cfg.Seed)
-	tails := make([]float64, len(rates))
 	// Average plateaus over a few independent runs: single-trajectory
 	// tails are noisy at reduced scale, while the paper's claim is about
 	// the average disorder level.
 	const reps = 3
-	for i, rate := range rates {
+	rngs := splitPairs(cfg.Seed, len(rates)*reps)
+	trajs := make([]dynamics.Trajectory, len(rates)*reps)
+	err := cfg.forEach(len(trajs), func(t int) error {
+		rate := rates[t/reps]
+		g := graph.ErdosRenyiMeanDegree(n, 10, rngs[t][0])
+		sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, rngs[t][1])
+		if err != nil {
+			return err
+		}
+		trajs[t] = sim.RunChurn(20, 4, rate, attach)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tails := make([]float64, len(rates))
+	for i := range rates {
 		for rep := 0; rep < reps; rep++ {
-			g := graph.ErdosRenyiMeanDegree(n, 10, r.Split())
-			sim, err := dynamics.NewUniform(g, 1, core.BestMateStrategy{}, r.Split())
-			if err != nil {
-				return nil, err
-			}
-			traj := sim.RunChurn(20, 4, rate, attach)
+			traj := trajs[i*reps+rep]
 			if rep == 0 {
 				res.Series = append(res.Series, trajectorySeries(names[i], traj))
 			}
@@ -154,14 +196,23 @@ func Figure3(cfg Config) (*Result, error) {
 
 // Theorem1 demonstrates both halves of Theorem 1 numerically: the stable
 // configuration is reachable in at most B/2 initiatives, and arbitrary
-// active-initiative schedules always converge.
+// active-initiative schedules always converge. The three population sizes
+// run in parallel.
 func Theorem1(cfg Config) (*Result, error) {
 	res := &Result{
 		TableHeader: []string{"n", "B/2", "witness_initiatives", "random_schedule_units"},
 	}
-	r := rng.New(cfg.Seed)
-	for _, n := range []int{cfg.scaled(100), cfg.scaled(500), cfg.scaled(1000)} {
-		g := graph.ErdosRenyiMeanDegree(n, 8, r.Split())
+	ns := []int{cfg.scaled(100), cfg.scaled(500), cfg.scaled(1000)}
+	rngs := splitPairs(cfg.Seed, len(ns))
+	type outcome struct {
+		bound, active int
+		witnessOK     bool
+		units         float64
+	}
+	outs := make([]outcome, len(ns))
+	err := cfg.forEach(len(ns), func(i int) error {
+		n := ns[i]
+		g := graph.ErdosRenyiMeanDegree(n, 8, rngs[i][0])
 		want := core.StableUniform(g, 2)
 		// Witness schedule: best-peer-first best-mate initiatives.
 		c := core.NewUniformConfig(n, 2)
@@ -175,23 +226,32 @@ func Theorem1(cfg Config) (*Result, error) {
 				active++
 			}
 		}
-		bound := c.TotalSlots() / 2
-		res.noteCheck(c.Equal(want), "n=%d: witness schedule reaches the stable configuration", n)
-		res.noteCheck(active <= bound, "n=%d: witness used %d active initiatives <= B/2 = %d", n, active, bound)
+		out := &outs[i]
+		out.bound = c.TotalSlots() / 2
+		out.active = active
+		out.witnessOK = c.Equal(want)
 
 		// Random schedule: must converge too (no cycles possible).
-		sim, err := dynamics.NewUniform(g.Clone(), 2, core.BestMateStrategy{}, r.Split())
+		sim, err := dynamics.NewUniform(g.Clone(), 2, core.BestMateStrategy{}, rngs[i][1])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		units := 0.0
-		for !sim.Config().Equal(sim.InstantStable()) && units < 1000 {
+		for !sim.Config().Equal(sim.InstantStable()) && out.units < 1000 {
 			sim.Run(1, 1)
-			units++
+			out.units++
 		}
-		res.noteCheck(units < 1000, "n=%d: random schedule converged after %.0f base units", n, units)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range ns {
+		out := outs[i]
+		res.noteCheck(out.witnessOK, "n=%d: witness schedule reaches the stable configuration", n)
+		res.noteCheck(out.active <= out.bound, "n=%d: witness used %d active initiatives <= B/2 = %d", n, out.active, out.bound)
+		res.noteCheck(out.units < 1000, "n=%d: random schedule converged after %.0f base units", n, out.units)
 		res.TableRows = append(res.TableRows, []float64{
-			float64(n), float64(bound), float64(active), units,
+			float64(n), float64(out.bound), float64(out.active), out.units,
 		})
 	}
 	return res, nil

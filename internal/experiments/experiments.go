@@ -27,6 +27,12 @@ type Config struct {
 	// that validate the analytic model (Figure 9). 0 means the default
 	// (1000; the paper used 10⁶ over several weeks).
 	MCSamples int
+	// Workers bounds the goroutines used by experiments that fan out over
+	// independent replicas, sweep points, or Monte-Carlo draws. 0 means
+	// GOMAXPROCS. Results are byte-identical for every worker count: each
+	// task derives its own deterministic random sub-stream and writes to
+	// its own slot.
+	Workers int
 }
 
 func (c Config) scale() float64 {

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"runtime"
+
+	"stratmatch/internal/par"
+)
+
+// forEach runs fn(0) .. fn(n-1) across the configured number of workers
+// (Config.Workers, defaulting to GOMAXPROCS) on the shared par worker
+// pool. Once a task fails, no further tasks start, and the error of the
+// lowest-indexed failing task is returned — the same error a serial loop
+// would have reported.
+//
+// Determinism contract: every experiment that fans out must (a) give each
+// task its own random sub-stream derived before the fan-out (or from the
+// task index), and (b) write results only into its own index-addressed
+// slot. Under that contract the outcome is byte-identical for any worker
+// count and any scheduling — the determinism test in experiments_test.go
+// enforces it for every parallel experiment.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	return par.ForEachErr(n, c.workerCount(), fn)
+}
+
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}

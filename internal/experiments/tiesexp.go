@@ -39,11 +39,18 @@ func Ties(cfg Config) (*Result, error) {
 	res := &Result{
 		TableHeader: []string{"seed", "initiatives_to_stable", "mean_abs_offset", "distinct_fixed_point"},
 	}
-	type fixedPoint struct{ c *core.Config }
-	var reached []fixedPoint
-	converged := 0
+	// Each run is seeded independently from (cfg.Seed + run index), so the
+	// runs fan out across workers; fixed-point identity is compared
+	// serially afterwards, in run order, keeping the output deterministic.
 	const runs = 6
-	for s := 0; s < runs; s++ {
+	type tieRun struct {
+		c       *core.Config
+		steps   int
+		stable  bool
+		meanOff float64
+	}
+	results := make([]tieRun, runs)
+	if err := cfg.forEach(runs, func(s int) error {
 		r := rng.New(cfg.Seed + uint64(s))
 		g := graph.ErdosRenyiMeanDegree(n, d, r)
 		c := core.NewUniformConfig(n, 2)
@@ -57,10 +64,6 @@ func Ties(cfg Config) (*Result, error) {
 			} else {
 				idle++
 			}
-		}
-		stable := core.IsStableTie(c, g, ranking)
-		if stable {
-			converged++
 		}
 		// Mean absolute rank offset of collaborations — the
 		// stratification statistic.
@@ -78,37 +81,49 @@ func Ties(cfg Config) (*Result, error) {
 		if offCnt > 0 {
 			meanOff = offSum / float64(offCnt) / float64(n)
 		}
+		results[s] = tieRun{c: c, steps: steps, stable: core.IsStableTie(c, g, ranking), meanOff: meanOff}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var reached []*core.Config
+	converged := 0
+	for s, run := range results {
+		if run.stable {
+			converged++
+		}
 		distinct := 1.0
 		for _, fp := range reached {
-			if fp.c.Equal(c) {
+			if fp.Equal(run.c) {
 				distinct = 0
 				break
 			}
 		}
 		if distinct == 1 {
-			reached = append(reached, fixedPoint{c})
+			reached = append(reached, run.c)
 		}
 		res.TableRows = append(res.TableRows, []float64{
-			float64(s), float64(steps), meanOff, distinct,
+			float64(s), float64(run.steps), run.meanOff, distinct,
 		})
-		res.noteCheck(stable, "seed %d: tie initiatives reached a tie-stable configuration", s)
+		res.noteCheck(run.stable, "seed %d: tie initiatives reached a tie-stable configuration", s)
 		// Stratified offsets live at the ~1/d scale; uniform random
 		// matching would average ~1/3. 3/d separates the two regimes at
 		// any population size.
-		res.noteCheck(meanOff < 3/d,
+		res.noteCheck(run.meanOff < 3/d,
 			"seed %d: stratification persists under ties (mean |rank offset| %.4f of n, random would be ~0.33)",
-			s, meanOff)
+			s, run.meanOff)
 	}
 	res.noteCheck(converged == runs,
 		"all %d runs converged despite %d tie classes (\"our results hold if we allow ties\")",
 		runs, classes)
 	// Each run used a different acceptance graph, so distinct fixed points
 	// are expected; the theoretical content is non-uniqueness on a FIXED
-	// graph, demonstrated separately:
+	// graph, demonstrated separately. The acceptance graph is shared
+	// read-only across the parallel runs; only the per-run configurations
+	// mutate.
 	gFixed := graph.ErdosRenyiMeanDegree(n, d, rng.New(cfg.Seed+999))
-	distinctOnFixed := 0
-	var seen []*core.Config
-	for s := 0; s < 4; s++ {
+	fixedCfgs := make([]*core.Config, 4)
+	if err := cfg.forEach(len(fixedCfgs), func(s int) error {
 		r := rng.New(cfg.Seed + 1000 + uint64(s))
 		c := core.NewUniformConfig(n, 2)
 		idle := 0
@@ -119,6 +134,14 @@ func Ties(cfg Config) (*Result, error) {
 				idle++
 			}
 		}
+		fixedCfgs[s] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	distinctOnFixed := 0
+	var seen []*core.Config
+	for _, c := range fixedCfgs {
 		fresh := true
 		for _, o := range seen {
 			if o.Equal(c) {

@@ -12,6 +12,11 @@ import (
 //
 // For sparse graphs (p well below 1) the sampler uses geometric edge
 // skipping (Batagelj–Brandes), which runs in O(n + m) instead of O(n²).
+// Sampling is two-pass: edges are drawn into a flat buffer first, then the
+// exact-size adjacency lists are carved out of one backing slab and
+// tail-filled in sorted order — Monte-Carlo loops that draw thousands of
+// graphs spend their time in the sampler, and incremental sorted inserts
+// with slice regrowth used to dominate that cost.
 func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
 	g := NewAdjacency(n)
 	switch {
@@ -28,6 +33,8 @@ func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
 	// Walk the strictly-lower-triangular adjacency matrix row by row,
 	// skipping ahead by geometrically distributed gaps.
 	logq := math.Log1p(-p)
+	edges := make([]uint64, 0, int(p*float64(n)*float64(n-1)/2)+16)
+	deg := make([]int32, n)
 	v, w := 1, -1
 	for v < n {
 		u := r.Float64()
@@ -40,8 +47,29 @@ func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
 			v++
 		}
 		if v < n {
-			g.AddEdge(v, w)
+			edges = append(edges, uint64(v)<<32|uint64(w))
+			deg[v]++
+			deg[w]++
 		}
+	}
+	// Carve per-peer lists out of one slab. Full-slice expressions cap each
+	// segment, so later churn mutations (ints.Insert past the cap) reallocate
+	// privately instead of bleeding into the next peer's segment.
+	slab := make([]int, 2*len(edges))
+	off := 0
+	for i := 0; i < n; i++ {
+		d := int(deg[i])
+		g.adj[i] = slab[off : off : off+d]
+		off += d
+	}
+	// Edges arrive in lexicographic (v, w) order with w < v, so every list
+	// receives its smaller neighbors first (increasing w, while its row is
+	// scanned) and its larger neighbors afterwards (increasing v): plain
+	// tail appends keep each list sorted.
+	for _, e := range edges {
+		v, w := int(e>>32), int(e&0xffffffff)
+		g.adj[v] = append(g.adj[v], w)
+		g.adj[w] = append(g.adj[w], v)
 	}
 	return g
 }

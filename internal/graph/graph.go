@@ -13,6 +13,7 @@ package graph
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"stratmatch/internal/ints"
 )
@@ -35,11 +36,13 @@ type Graph interface {
 }
 
 // Complete is the complete acceptance graph on n peers: every pair of
-// distinct peers is acceptable. Neighbor slices are materialized lazily and
-// cached per peer.
+// distinct peers is acceptable. Neighbor slices are materialized lazily,
+// one peer at a time, through atomic pointers, so concurrent callers
+// (parallel experiment replicas) are safe without paying O(n²) memory up
+// front — a peer's list costs O(n) and only when first asked for.
 type Complete struct {
 	n     int
-	cache [][]int
+	cache []atomic.Pointer[[]int]
 }
 
 var _ Graph = (*Complete)(nil)
@@ -49,7 +52,7 @@ func NewComplete(n int) *Complete {
 	if n < 0 {
 		panic(fmt.Sprintf("graph: NewComplete(%d)", n))
 	}
-	return &Complete{n: n, cache: make([][]int, n)}
+	return &Complete{n: n, cache: make([]atomic.Pointer[[]int], n)}
 }
 
 // N implements Graph.
@@ -60,18 +63,24 @@ func (g *Complete) Acceptable(i, j int) bool {
 	return i != j && i >= 0 && j >= 0 && i < g.n && j < g.n
 }
 
-// Neighbors implements Graph. The slice for each peer is built on first use.
+// Neighbors implements Graph. Each peer's slice is built on first use and
+// published with an atomic store; two goroutines racing on the same peer
+// both build the (identical) slice and one copy wins. The previous
+// plain-slice lazy fill was a data race once experiments fanned out across
+// goroutines.
 func (g *Complete) Neighbors(i int) []int {
-	if g.cache[i] == nil {
-		nb := make([]int, 0, g.n-1)
-		for j := 0; j < g.n; j++ {
-			if j != i {
-				nb = append(nb, j)
-			}
-		}
-		g.cache[i] = nb
+	if nb := g.cache[i].Load(); nb != nil {
+		return *nb
 	}
-	return g.cache[i]
+	nb := make([]int, 0, g.n-1)
+	for j := 0; j < g.n; j++ {
+		if j != i {
+			nb = append(nb, j)
+		}
+	}
+	g.cache[i].CompareAndSwap(nil, &nb)
+	// Return the published copy so every caller aliases the same slice.
+	return *g.cache[i].Load()
 }
 
 // Degree implements Graph.

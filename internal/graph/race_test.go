@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCompleteNeighborsConcurrent hammers Complete.Neighbors from many
+// goroutines. Run under -race this pins the atomic-publish fix: the previous
+// lazily-filled per-peer cache raced as soon as experiment replicas fanned
+// out across cores.
+func TestCompleteNeighborsConcurrent(t *testing.T) {
+	g := NewComplete(200)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < g.N(); i++ {
+				p := (i + w*25) % g.N()
+				nb := g.Neighbors(p)
+				if len(nb) != g.N()-1 {
+					t.Errorf("peer %d: %d neighbors", p, len(nb))
+					return
+				}
+				// Sorted ascending and loopless.
+				for k := 1; k < len(nb); k++ {
+					if nb[k-1] >= nb[k] || nb[k] == p {
+						t.Errorf("peer %d: bad neighbor list", p)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

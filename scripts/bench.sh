@@ -1,0 +1,12 @@
+#!/bin/sh
+# Run the per-experiment benchmarks once each and record the results as
+# BENCH_results.json at the repository root, so the performance trajectory
+# is tracked across PRs. Pass extra `go test` flags through, e.g.:
+#
+#   scripts/bench.sh                 # default: -benchtime=1x -benchmem
+#   scripts/bench.sh -benchtime=5x
+set -eu
+cd "$(dirname "$0")/.."
+go test -run='^$' -bench=. -benchtime=1x -benchmem "$@" | tee /dev/stderr |
+	go run ./cmd/benchjson > BENCH_results.json
+echo "wrote BENCH_results.json" >&2
