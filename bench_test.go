@@ -115,6 +115,11 @@ func BenchmarkCombo(b *testing.B) { benchExperiment(b, "combo") }
 // the estimated-rank matching approaches the true stable configuration.
 func BenchmarkGossip(b *testing.B) { benchExperiment(b, "gossip") }
 
+// BenchmarkChurn runs the dynamic-membership scenario catalog (flash
+// crowd, Poisson steady state, mass departure + healing) through the
+// tracker/churn subsystem.
+func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
+
 // BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
 // network of 5000 peers (not tied to a figure; the primitive every
 // experiment leans on).

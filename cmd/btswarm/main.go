@@ -7,11 +7,18 @@
 //	btswarm -leechers 500 -unlimited -rounds 3000        # Section 6 regime
 //	btswarm -leechers 100 -seeds 1 -until-done           # flash crowd
 //	btswarm -replicas 16 -unlimited                      # parallel replica study
+//	btswarm -scenario poisson                            # dynamic membership
+//	btswarm -scenario massdepart -scenario-scale 2       # churn catalog, 2x size
 //
 // With -replicas N, N independent swarms (seeds seed, seed+1, ...) run
 // across -workers goroutines and the stratification statistics are
 // aggregated over the replicas; the per-peer report is printed for the
 // first replica only.
+//
+// With -scenario NAME, the named dynamic-membership scenario (tracker,
+// arrival process, peer lifecycle — see -list-scenarios) runs instead of a
+// fixed population, printing its population/stratification time series and
+// the closing swarm report.
 package main
 
 import (
@@ -53,9 +60,22 @@ func run(args []string) error {
 		warmup    = fs.Int("warmup", 0, "metrics warmup rounds (default: rounds/3)")
 		replicas  = fs.Int("replicas", 1, "independent replicas (seed, seed+1, ...) to aggregate")
 		workers   = fs.Int("workers", 0, "goroutines for replica fan-out (0 = all cores)")
+		scenario  = fs.String("scenario", "", "run a named churn scenario instead of a fixed swarm (see -list-scenarios)")
+		scScale   = fs.Float64("scenario-scale", 1, "population/length multiplier for -scenario")
+		listSc    = fs.Bool("list-scenarios", false, "list the churn scenario catalog and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listSc {
+		fmt.Println("churn scenario catalog:")
+		for _, name := range btsim.ScenarioNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		return nil
+	}
+	if *scenario != "" {
+		return runScenario(*scenario, *seed, *scScale)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas %d", *replicas)
@@ -159,6 +179,36 @@ func run(args []string) error {
 	}
 	fmt.Println("\n--- replica 0 ---")
 	report(metrics[0])
+	return nil
+}
+
+// runScenario executes one catalog scenario and prints its time series and
+// closing report.
+func runScenario(name string, seed uint64, scale float64) error {
+	sc, err := btsim.NamedScenario(name, seed, scale)
+	if err != nil {
+		return err
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenario:                %s (seed %d, scale %g)\n", res.Name, seed, scale)
+	fmt.Printf("peers ever joined:       %d\n", res.TotalJoined)
+	fmt.Printf("peers departed:          %d\n", res.TotalDeparted)
+	fmt.Println("\n  round  present  leechers  seeds  joined  departed  completed  mean_deg  strat_corr  D/U slow|mid|fast")
+	stride := (len(res.Series) + 29) / 30 // bound the printed series to ~30 rows
+	for i, pt := range res.Series {
+		if i%stride != 0 && i != len(res.Series)-1 {
+			continue
+		}
+		fmt.Printf("  %5d  %7d  %8d  %5d  %6d  %8d  %9d  %8.1f  %10.3f  %5.2f|%4.2f|%4.2f\n",
+			pt.Round, pt.Present, pt.Leechers, pt.Seeds, pt.Joined, pt.Departed,
+			pt.Completed, pt.MeanDegree, pt.StratCorr,
+			pt.ShareRatioByClass[0], pt.ShareRatioByClass[1], pt.ShareRatioByClass[2])
+	}
+	fmt.Println()
+	report(res.Final)
 	return nil
 }
 

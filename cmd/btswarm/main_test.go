@@ -43,6 +43,26 @@ func TestRunUntilDone(t *testing.T) {
 	}
 }
 
+func TestRunScenarios(t *testing.T) {
+	for _, name := range []string{"flashcrowd", "poisson", "massdepart"} {
+		if err := run([]string{"-scenario", name, "-scenario-scale", "0.1"}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	if err := run([]string{"-list-scenarios"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("bad flag accepted")

@@ -26,6 +26,14 @@ func (b bitset) count() int {
 
 func (b bitset) full() bool { return b.count() == b.n }
 
+// clear resets every bit; recycled bitfields (see Swarm.havePool) are
+// cleared before the next occupant uses them.
+func (b bitset) clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
 func (b bitset) setAll() {
 	for i := range b.words {
 		b.words[i] = ^uint64(0)

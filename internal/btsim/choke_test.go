@@ -17,7 +17,8 @@ func TestChokeSlotsBounded(t *testing.T) {
 		for i := range s.peers {
 			p := &s.peers[i]
 			unchoked := 0
-			for e := s.off[i]; e < s.off[i+1]; e++ {
+			base, end := s.edges(p.id)
+			for e := base; e < end; e++ {
 				if s.unchoked[e] {
 					unchoked++
 				}
@@ -75,9 +76,11 @@ func TestRarestFirstPicksRarest(t *testing.T) {
 	give := func(p *peer, piece int) {
 		p.have.set(piece)
 		p.haveCount++
-		for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
-			s.avail[int(s.nbr[e])*s.opt.Pieces+piece]++
-			if !s.peers[s.nbr[e]].have.has(piece) {
+		base, end := s.edges(p.id)
+		for e := base; e < end; e++ {
+			q := &s.peers[s.nbr[e]]
+			s.avail[int(q.slot)*s.opt.Pieces+piece]++
+			if !q.have.has(piece) {
 				s.want[s.rev[e]]++
 			}
 		}
@@ -130,11 +133,13 @@ func TestRecvRateMeasuresWindow(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run(25)
-	// Each peer has exactly one edge: its block starts at off[id].
-	if got := s.recvRate[s.off[0]]; got != 500 {
+	// Each peer has exactly one edge: its block starts at its slot base.
+	e0, _ := s.edges(0)
+	if got := s.recvRate[e0]; got != 500 {
 		t.Fatalf("peer 0 measures %v kbps from peer 1, want 500", got)
 	}
-	if got := s.recvRate[s.off[1]]; got != 300 {
+	e1, _ := s.edges(1)
+	if got := s.recvRate[e1]; got != 300 {
 		t.Fatalf("peer 1 measures %v kbps from peer 0, want 300", got)
 	}
 }
@@ -174,15 +179,15 @@ func TestIncrementalInterestMatchesBitfields(t *testing.T) {
 			if p.departed {
 				continue
 			}
-			base := i * s.opt.Pieces
+			abase := int(p.slot) * s.opt.Pieces
 			recount := make([]int32, s.opt.Pieces)
-			for e := s.off[i]; e < s.off[i+1]; e++ {
+			base, end := s.edges(i)
+			for e := base; e < end; e++ {
+				// Departure now unwires edges, so every remaining edge
+				// points at a present neighbor.
 				q := &s.peers[s.nbr[e]]
 				if q.departed {
-					// Departed neighbors were subtracted from avail and
-					// their want counters are frozen behind the departed
-					// guard.
-					continue
+					t.Fatalf("%s: peer %d still wired to departed peer %d", stage, i, q.id)
 				}
 				if got, want := s.want[e], int32(p.have.countMissingIn(q.have)); got != want {
 					t.Fatalf("%s: want[%d→%d] = %d, recount %d", stage, i, q.id, got, want)
@@ -194,7 +199,7 @@ func TestIncrementalInterestMatchesBitfields(t *testing.T) {
 				}
 			}
 			for piece, want := range recount {
-				if got := s.avail[base+piece]; got != want {
+				if got := s.avail[abase+piece]; got != want {
 					t.Fatalf("%s: avail[%d,%d] = %d, recount %d", stage, i, piece, got, want)
 				}
 			}

@@ -1,0 +1,189 @@
+package btsim
+
+import (
+	"math"
+
+	"stratmatch/internal/rng"
+)
+
+// Arrivals is a pluggable peer-arrival process for dynamic swarms: the
+// scenario runner asks it every round how many peers join. Implementations
+// draw any randomness from the supplied deterministic source, so a scenario
+// replays identically for a given seed.
+type Arrivals interface {
+	// Arrivals returns how many peers join at the given round.
+	Arrivals(round int, r *rng.RNG) int
+}
+
+// PoissonArrivals models the steady-state regime measured by Guo et al.
+// and assumed by fluid models of BitTorrent: peers arrive as a Poisson
+// process with a constant expected rate per round.
+type PoissonArrivals struct {
+	// PerRound is the expected number of arrivals per round (λ).
+	PerRound float64
+}
+
+// Arrivals draws a Poisson(PerRound) count via Knuth's product method —
+// exact and allocation-free. Large rates are split into chunks of at most
+// 32 and the independent chunk draws summed (a Poisson sum is Poisson), so
+// e^−λ never underflows and the count stays exact at any rate.
+func (p PoissonArrivals) Arrivals(_ int, r *rng.RNG) int {
+	total := 0
+	for lambda := p.PerRound; lambda > 0; lambda -= 32 {
+		total += poissonKnuth(math.Min(lambda, 32), r)
+	}
+	return total
+}
+
+// poissonKnuth multiplies uniforms until the product drops below e^−λ;
+// callers keep λ small enough that the limit is comfortably above the
+// float64 underflow threshold.
+func poissonKnuth(lambda float64, r *rng.RNG) int {
+	limit := math.Exp(-lambda)
+	k := 0
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// BurstArrivals models a flash crowd: Total peers arrive spread evenly over
+// the Rounds rounds starting at Start, then arrivals stop.
+type BurstArrivals struct {
+	Start  int // first round of the burst
+	Rounds int // burst duration (at least 1)
+	Total  int // peers arriving over the whole burst
+}
+
+// Arrivals returns the deterministic per-round share of the burst.
+func (b BurstArrivals) Arrivals(round int, _ *rng.RNG) int {
+	if b.Total <= 0 || round < b.Start {
+		return 0
+	}
+	d := b.Rounds
+	if d < 1 {
+		d = 1
+	}
+	i := round - b.Start
+	if i >= d {
+		return 0
+	}
+	// Cumulative-difference split keeps the total exact for any duration.
+	return b.Total*(i+1)/d - b.Total*i/d
+}
+
+// TraceArrivals replays a recorded (or hand-written) arrival schedule:
+// Counts[round] peers join at each round, zero beyond the trace.
+type TraceArrivals struct {
+	Counts []int
+}
+
+// Arrivals returns the trace entry for the round.
+func (t TraceArrivals) Arrivals(round int, _ *rng.RNG) int {
+	if round < 0 || round >= len(t.Counts) {
+		return 0
+	}
+	return t.Counts[round]
+}
+
+// CombinedArrivals sums several arrival processes (e.g. a Poisson baseline
+// plus a scheduled burst).
+type CombinedArrivals []Arrivals
+
+// Arrivals sums the component processes in order.
+func (c CombinedArrivals) Arrivals(round int, r *rng.RNG) int {
+	total := 0
+	for _, a := range c {
+		total += a.Arrivals(round, r)
+	}
+	return total
+}
+
+// Departures configures the peer-lifecycle departure rules a scenario
+// applies after every round: leechers may abandon, and completed leechers
+// (promoted to seeds) linger for a while before leaving — the
+// leecher → seed → gone lifecycle of real swarms. The zero value is inert
+// (nobody ever departs), mirroring a nil Arrivals.
+type Departures struct {
+	// AbandonPerRound is the probability that a present, unfinished
+	// leecher gives up in any given round.
+	AbandonPerRound float64
+	// SeedLingerRounds is how long a completed leecher stays seeding
+	// before departing; values <= 0 mean finished peers never leave
+	// (near-immediate departure is SeedLingerRounds: 1).
+	SeedLingerRounds int
+	// InitialSeedsStay exempts the initial seeds (and seeds added via
+	// Join with asSeed) from the linger rule, keeping the content source
+	// alive for the whole scenario.
+	InitialSeedsStay bool
+}
+
+// applyDepartures runs one round of lifecycle departures. Candidates are
+// collected first (departing mutates the tracker's present list), then
+// departed in collection order; both passes iterate deterministic state
+// with randomness only from r. The scratch buffer is reused across rounds
+// so steady churn does not allocate. Returns the number of departures.
+func (s *Swarm) applyDepartures(d Departures, r *rng.RNG, scratch *[]int32) int {
+	if d.AbandonPerRound <= 0 && d.SeedLingerRounds <= 0 {
+		return 0
+	}
+	leaving := (*scratch)[:0]
+	for _, id := range s.trk.present {
+		p := &s.peers[id]
+		switch {
+		case p.done:
+			if d.SeedLingerRounds <= 0 || (d.InitialSeedsStay && p.isSeed) {
+				continue
+			}
+			// Initial seeds and post-flash-crowd instant finishers have
+			// doneRound 0 == joinRound; they linger from round 0 too. The
+			// peer seeds for exactly SeedLingerRounds full rounds after
+			// its completion round, then leaves.
+			if s.round-p.doneRound >= d.SeedLingerRounds {
+				leaving = append(leaving, id)
+			}
+		case d.AbandonPerRound > 0:
+			if r.Bool(d.AbandonPerRound) {
+				leaving = append(leaving, id)
+			}
+		}
+	}
+	*scratch = leaving
+	for _, id := range leaving {
+		s.Depart(int(id))
+	}
+	return len(leaving)
+}
+
+// massDepart removes a uniformly drawn fraction of the present population
+// (seeds included only when includeSeeds is set) — the correlated-failure /
+// content-death workload. Returns the number of departures.
+func (s *Swarm) massDepart(fraction float64, includeSeeds bool, r *rng.RNG, scratch *[]int32) int {
+	if fraction <= 0 {
+		return 0
+	}
+	cands := (*scratch)[:0]
+	for _, id := range s.trk.present {
+		if !includeSeeds && s.peers[id].isSeed {
+			continue
+		}
+		cands = append(cands, id)
+	}
+	count := int(fraction * float64(len(cands)))
+	if fraction >= 1 {
+		count = len(cands)
+	}
+	// Partial Fisher–Yates: the first count entries become a uniform
+	// sample without replacement.
+	for i := 0; i < count; i++ {
+		j := i + r.Intn(len(cands)-i)
+		cands[i], cands[j] = cands[j], cands[i]
+	}
+	*scratch = cands
+	for _, id := range cands[:count] {
+		s.Depart(int(id))
+	}
+	return count
+}

@@ -10,10 +10,16 @@ import (
 type PeerMetrics struct {
 	ID       int
 	Capacity float64 // upload capacity, kbps
-	Rank     int     // global bandwidth rank, 0 = fastest
+	// Rank is the peer's bandwidth rank (0 = fastest) among the present
+	// population — frozen at its departure rank once the peer leaves.
+	Rank     int
 	IsSeed   bool
 	Departed bool
 	Done     bool
+	// JoinRound and DepartRound delimit the peer's presence (0 for the
+	// initial population; DepartRound is −1 while the peer is present).
+	JoinRound   int
+	DepartRound int
 	// DoneRound is the round at which the peer finished (−1 if still
 	// leeching; 0 for initial seeds and post-flash-crowd instant finishers).
 	DoneRound int
@@ -28,34 +34,51 @@ type PeerMetrics struct {
 	MeanTFTPartnerRank float64
 }
 
-// Metrics summarizes a swarm's state.
+// Metrics summarizes a swarm's state. Peers holds one row per peer that
+// ever joined (the roster), departed peers included.
 type Metrics struct {
 	Round             int
 	Peers             []PeerMetrics
 	CompletedLeechers int
+	// Present / PresentSeeds count the peers currently in the swarm;
+	// PresentSeeds includes leechers promoted to seed on completion.
+	Present      int
+	PresentSeeds int
 	// MeanCompletionRound averages DoneRound over completed leechers that
 	// started incomplete (NaN if none).
 	MeanCompletionRound float64
 	// StratCorrelation is the Pearson correlation between a leecher's own
 	// rank and its mean TFT-partner rank. Stratification means strongly
 	// positive: fast peers trade with fast peers.
+	//
+	// Both stratification statistics aggregate over each present peer's
+	// whole lifetime: tftPartnerRankSum accumulates ranks as they were at
+	// each choke decision, so after large population swings (e.g. a mass
+	// departure) a survivor's history mixes rank scales and the absolute
+	// values lose precision. Under heavy churn, read the scenario time
+	// series for the trend rather than a single snapshot's absolute value.
 	StratCorrelation float64
 	// MeanAbsRankOffset averages |own rank − mean partner rank| over
-	// leechers with TFT history, normalized by the population size; small
-	// values mean tight rank bands (cf. the MMO of Section 4).
+	// present leechers with TFT history, normalized by the present
+	// population; small values mean tight rank bands (cf. the MMO of
+	// Section 4). The lifetime-aggregation caveat above applies.
 	MeanAbsRankOffset float64
 }
 
 // Snapshot computes metrics for the current state.
 func (s *Swarm) Snapshot() Metrics {
-	m := Metrics{Round: s.round}
+	m := Metrics{Round: s.round, Present: s.present, PresentSeeds: s.presentDone}
 	var (
 		ownRanks, partnerRanks []float64
 		offsets                []float64
 		doneRounds             []float64
 	)
-	n := float64(len(s.peers))
-	for _, p := range s.peers {
+	// Normalize rank offsets by the present population (== the roster for
+	// a static swarm); ranks live on that scale. With nobody present the
+	// offset loop below never runs, so n == 0 cannot divide anything.
+	n := float64(s.present)
+	for i := range s.peers {
+		p := &s.peers[i]
 		pm := PeerMetrics{
 			ID:                 p.id,
 			Capacity:           p.capacity,
@@ -63,6 +86,8 @@ func (s *Swarm) Snapshot() Metrics {
 			IsSeed:             p.isSeed,
 			Departed:           p.departed,
 			Done:               p.done,
+			JoinRound:          p.joinRound,
+			DepartRound:        p.departRound,
 			DoneRound:          p.doneRound,
 			TotalUp:            p.totalUp,
 			TotalDown:          p.totalDown,
@@ -82,7 +107,12 @@ func (s *Swarm) Snapshot() Metrics {
 					doneRounds = append(doneRounds, float64(p.doneRound))
 				}
 			}
-			if p.tftPartnerCount > 0 {
+			// Only present peers feed the stratification aggregates:
+			// departed peers' frozen ranks come from whatever population
+			// size existed when they left, and mixing those scales with
+			// the present normalization would make the offsets
+			// meaningless under churn (sample() applies the same rule).
+			if p.tftPartnerCount > 0 && !p.departed {
 				ownRanks = append(ownRanks, float64(s.rank[p.id]))
 				partnerRanks = append(partnerRanks, pm.MeanTFTPartnerRank)
 				offsets = append(offsets, math.Abs(float64(s.rank[p.id])-pm.MeanTFTPartnerRank)/n)

@@ -1,0 +1,353 @@
+package btsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"stratmatch/internal/bandwidth"
+	"stratmatch/internal/rng"
+	"stratmatch/internal/stats"
+)
+
+// Scenario composes a swarm, an arrival process, lifecycle departures and
+// scheduled events into a named, reproducible experiment. All randomness —
+// the swarm's own and the churn driver's — derives from Opt.Seed, so a
+// scenario replays byte-identically for a given seed.
+type Scenario struct {
+	// Name identifies the scenario in reports and the CLI catalog.
+	Name string
+	// Opt configures the initial swarm. Set Opt.MaxPeers to the expected
+	// concurrent peak to avoid growth reallocation mid-run.
+	Opt Options
+	// Rounds is the scenario length.
+	Rounds int
+	// Arrivals is the arrival process (nil: nobody joins).
+	Arrivals Arrivals
+	// CapacityDist draws upload capacities for arriving peers (nil: every
+	// arrival gets 400 kbps).
+	CapacityDist *bandwidth.Distribution
+	// ArrivalSeedFraction is the probability that an arrival is a seed
+	// rather than a leecher (usually 0; small values model replica
+	// injection).
+	ArrivalSeedFraction float64
+	// Departures are the per-round lifecycle rules (abandonment, seed
+	// linger).
+	Departures Departures
+	// Events are scheduled one-shot membership shocks.
+	Events []Event
+	// ReannounceInterval staggers under-connected peers' tracker
+	// re-announces (0: every 10 rounds, matching the choke interval).
+	ReannounceInterval int
+	// SampleEvery is the time-series sampling period (0: every 10 rounds).
+	SampleEvery int
+}
+
+// Event is a scheduled membership shock: at Round, DepartFraction of the
+// present population (seeds only if IncludeSeeds) leaves at once.
+type Event struct {
+	Round          int
+	DepartFraction float64
+	IncludeSeeds   bool
+}
+
+// SeriesPoint is one sample of a scenario's time series.
+type SeriesPoint struct {
+	Round int
+	// Population at the sample: Present = Leechers + Seeds, where Seeds
+	// counts complete peers (initial seeds plus promoted leechers).
+	Present  int
+	Leechers int
+	Seeds    int
+	// Cumulative flows up to the sample.
+	Joined    int
+	Departed  int
+	Completed int // leechers that finished (departed ones included)
+	// MeanDegree is the average connection count over present peers —
+	// the overlay-health signal (tracker healing restores it after
+	// departures).
+	MeanDegree float64
+	// StratCorr is the rank vs mean-TFT-partner-rank Pearson correlation
+	// over present peers with TFT history (NaN when fewer than two). Like
+	// Metrics.StratCorrelation it aggregates each peer's whole TFT
+	// history, so across large population swings the series trend is the
+	// signal, not any single sample's absolute value.
+	StratCorr float64
+	// ShareRatioByClass is the mean download/upload ratio of present
+	// peers grouped into capacity terciles (slow, mid, fast); NaN for
+	// empty classes. The paper's Figure 11 structure — slow peers above
+	// 1, fast peers below — should hold under churn too.
+	ShareRatioByClass [3]float64
+}
+
+// ScenarioResult is a completed scenario run.
+type ScenarioResult struct {
+	Name   string
+	Series []SeriesPoint
+	// Final is the closing roster snapshot (departed peers included).
+	Final Metrics
+	// TotalJoined / TotalDeparted are the membership flows over the whole
+	// run (TotalJoined includes the initial population).
+	TotalJoined   int
+	TotalDeparted int
+}
+
+// Run executes the scenario. The per-round order is: arrivals and
+// scheduled events first (newcomers participate in the round they join),
+// then one simulation step, then lifecycle departures, then tracker
+// re-announces for under-connected peers, then sampling.
+func (sc Scenario) Run() (*ScenarioResult, error) {
+	if sc.Rounds < 1 {
+		return nil, fmt.Errorf("scenario %s: %d rounds", sc.Name, sc.Rounds)
+	}
+	// The churn driver's randomness splits off the seed so it cannot
+	// collide with the swarm's own stream (same discipline as the replica
+	// fan-outs); a second split covers the initial capacity draw.
+	base := rng.New(sc.Opt.Seed)
+	churnR := base.Split()
+	opt := sc.Opt
+	if sc.CapacityDist != nil && opt.UploadKbps == nil {
+		// Initial leechers draw from the same capacity distribution as
+		// arrivals (keeping the capacity-tercile classes meaningful);
+		// initial seeds are well-provisioned, like the CLI's replica
+		// studies.
+		capR := base.Split()
+		caps := make([]float64, opt.Leechers+opt.Seeds)
+		for i := 0; i < opt.Leechers; i++ {
+			caps[i] = sc.CapacityDist.Sample(capR)
+		}
+		for i := opt.Leechers; i < len(caps); i++ {
+			caps[i] = 5000
+		}
+		opt.UploadKbps = caps
+	}
+	s, err := New(opt)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+
+	sampleEvery := sc.SampleEvery
+	if sampleEvery <= 0 {
+		sampleEvery = 10
+	}
+	reannounce := sc.ReannounceInterval
+	if reannounce <= 0 {
+		reannounce = 10
+	}
+
+	res := &ScenarioResult{Name: sc.Name}
+	classes := newClassBounds(s)
+	var scratch []int32
+	for round := 0; round < sc.Rounds; round++ {
+		if sc.Arrivals != nil {
+			for k := sc.Arrivals.Arrivals(round, churnR); k > 0; k-- {
+				capKbps := 400.0
+				if sc.CapacityDist != nil {
+					capKbps = sc.CapacityDist.Sample(churnR)
+				}
+				s.Join(capKbps, churnR.Bool(sc.ArrivalSeedFraction))
+			}
+		}
+		for _, ev := range sc.Events {
+			if ev.Round == round {
+				s.massDepart(ev.DepartFraction, ev.IncludeSeeds, churnR, &scratch)
+			}
+		}
+		s.Step()
+		s.applyDepartures(sc.Departures, churnR, &scratch)
+		s.ReannounceUnderConnected(reannounce)
+		if round%sampleEvery == 0 || round == sc.Rounds-1 {
+			res.Series = append(res.Series, s.sample(classes))
+		}
+	}
+	res.Final = s.Snapshot()
+	res.TotalJoined = s.TotalJoined()
+	res.TotalDeparted = s.TotalDeparted()
+	return res, nil
+}
+
+// classBounds splits capacities into terciles. Bounds come from the
+// initial population (arrivals drawn from the same distribution land in
+// the same classes), so class membership is stable across the run.
+type classBounds struct {
+	lo, hi float64
+}
+
+func newClassBounds(s *Swarm) classBounds {
+	caps := make([]float64, 0, len(s.peers))
+	for i := range s.peers {
+		if !s.peers[i].isSeed {
+			caps = append(caps, s.peers[i].capacity)
+		}
+	}
+	if len(caps) == 0 {
+		return classBounds{}
+	}
+	sort.Float64s(caps)
+	return classBounds{
+		lo: caps[len(caps)/3],
+		hi: caps[2*len(caps)/3],
+	}
+}
+
+func (c classBounds) class(capacity float64) int {
+	switch {
+	case capacity < c.lo:
+		return 0
+	case capacity < c.hi:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// sample computes one SeriesPoint from the live swarm state.
+func (s *Swarm) sample(classes classBounds) SeriesPoint {
+	pt := SeriesPoint{
+		Round:    s.round,
+		Present:  s.present,
+		Leechers: s.present - s.presentDone,
+		Seeds:    s.presentDone,
+		Joined:   len(s.peers),
+		Departed: s.totalDeparted,
+	}
+	var deg int64
+	for _, id := range s.trk.present {
+		deg += int64(s.deg[s.peers[id].slot])
+	}
+	if s.present > 0 {
+		pt.MeanDegree = float64(deg) / float64(s.present)
+	}
+
+	var own, partner []float64
+	var ratioSum, ratioN [3]float64
+	for i := range s.peers {
+		p := &s.peers[i]
+		if !p.isSeed && p.done {
+			pt.Completed++
+		}
+		if p.departed {
+			continue
+		}
+		if p.tftPartnerCount > 0 && !p.isSeed {
+			own = append(own, float64(s.rank[p.id]))
+			partner = append(partner, p.tftPartnerRankSum/float64(p.tftPartnerCount))
+		}
+		if p.totalUp > 0 && !p.isSeed {
+			cl := classes.class(p.capacity)
+			ratioSum[cl] += p.totalDown / p.totalUp
+			ratioN[cl]++
+		}
+	}
+	pt.StratCorr = stats.Pearson(own, partner)
+	for cl := range pt.ShareRatioByClass {
+		if ratioN[cl] > 0 {
+			pt.ShareRatioByClass[cl] = ratioSum[cl] / ratioN[cl]
+		} else {
+			pt.ShareRatioByClass[cl] = math.NaN()
+		}
+	}
+	return pt
+}
+
+// ScenarioNames lists the catalog in presentation order.
+func ScenarioNames() []string {
+	return []string{"flashcrowd", "poisson", "massdepart"}
+}
+
+// NamedScenario builds one of the canonical churn scenarios at the given
+// seed and population scale (1.0 = the default size; scales below ~0.1 are
+// clamped to stay meaningful). The catalog:
+//
+//   - flashcrowd: a tiny seeded swarm absorbs a burst of empty newcomers —
+//     Section 6's flash-crowd regime made dynamic. Completed peers linger
+//     briefly, then leave; the swarm must drain without losing the file.
+//   - poisson: steady-state swarm under continuous Poisson arrivals with
+//     abandonment and seed linger — the regime of Guo et al.'s measurement
+//     studies, where stratification must persist through turnover.
+//   - massdepart: half the population vanishes at once mid-run; the
+//     tracker's re-announce handouts must heal the overlay (mean degree
+//     recovers) and downloads must keep completing.
+func NamedScenario(name string, seed uint64, scale float64) (Scenario, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := func(base int, min int) int {
+		v := int(float64(base) * scale)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	dist := bandwidth.Saroiu()
+	switch name {
+	case "flashcrowd":
+		burst := n(150, 20)
+		initial := n(10, 4)
+		return Scenario{
+			Name: name,
+			Opt: Options{
+				Leechers:      initial,
+				Seeds:         2,
+				Pieces:        32,
+				PieceKbit:     512,
+				NeighborCount: 10,
+				MaxPeers:      initial + 2 + burst,
+				Seed:          seed,
+			},
+			Rounds:       n(1200, 600),
+			Arrivals:     BurstArrivals{Start: 20, Rounds: 60, Total: burst},
+			CapacityDist: dist,
+			Departures: Departures{
+				SeedLingerRounds: 150,
+				InitialSeedsStay: true,
+			},
+		}, nil
+	case "poisson":
+		initial := n(40, 12)
+		return Scenario{
+			Name: name,
+			Opt: Options{
+				Leechers:      initial,
+				Seeds:         2,
+				Pieces:        32,
+				PieceKbit:     512,
+				NeighborCount: 10,
+				MaxPeers:      4 * initial,
+				Seed:          seed,
+			},
+			Rounds:       n(1500, 800),
+			Arrivals:     PoissonArrivals{PerRound: 0.4 * scale},
+			CapacityDist: dist,
+			Departures: Departures{
+				AbandonPerRound:  0.0005,
+				SeedLingerRounds: 120,
+				InitialSeedsStay: true,
+			},
+		}, nil
+	case "massdepart":
+		initial := n(80, 24)
+		return Scenario{
+			Name: name,
+			Opt: Options{
+				Leechers:       initial,
+				Seeds:          3,
+				Pieces:         32,
+				PieceKbit:      512,
+				NeighborCount:  10,
+				MaxPeers:       2 * initial,
+				PostFlashCrowd: true,
+				Seed:           seed,
+			},
+			Rounds:       n(1200, 700),
+			Arrivals:     PoissonArrivals{PerRound: 0.3 * scale},
+			CapacityDist: dist,
+			Departures: Departures{
+				SeedLingerRounds: 200,
+				InitialSeedsStay: true,
+			},
+			Events: []Event{{Round: 300, DepartFraction: 0.5}},
+		}, nil
+	}
+	return Scenario{}, fmt.Errorf("btsim: unknown scenario %q (known: %v)", name, ScenarioNames())
+}

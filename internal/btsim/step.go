@@ -1,7 +1,5 @@
 package btsim
 
-import "math/bits"
-
 // Step advances the simulation by one round (one second): choke decisions on
 // their (per-peer staggered) schedule, then one round of data transfer.
 // Staggering matters: real BitTorrent clients run independent 10-second
@@ -9,13 +7,16 @@ import "math/bits"
 // of locking in.
 //
 // Steady-state stepping is allocation-free: all per-edge state and scratch
-// space was preallocated at wiring time.
+// space lives in the preallocated slot arrays. Peers are visited in slot
+// order — deterministic, and bounded by the concurrent population peak, not
+// by the (append-only) roster.
 func (s *Swarm) Step() {
-	for i := range s.peers {
-		p := &s.peers[i]
-		if p.departed {
+	for sl := 0; sl < s.slotCap; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
 			continue
 		}
+		p := &s.peers[id]
 		if (s.round+p.id)%s.opt.ChokeIntervalRounds == 0 {
 			s.rechokePeer(p)
 		}
@@ -48,46 +49,65 @@ func (s *Swarm) RunUntilDone(maxRounds int) bool {
 
 // AllDone reports whether every present leecher has completed the file.
 func (s *Swarm) AllDone() bool {
-	for i := range s.peers {
-		p := &s.peers[i]
-		if !p.isSeed && !p.departed && !p.done {
-			return false
-		}
-	}
-	return true
+	return s.present == s.presentDone
 }
 
 // Round returns the current round number.
 func (s *Swarm) Round() int { return s.round }
 
-// Depart removes a peer from the swarm (failure injection): it stops
-// uploading and downloading and its neighbors forget its pieces.
+// Depart removes a peer from the swarm: every one of its connections is
+// unwired (both CSR halves, with incremental want/avail maintenance), its
+// slot is recycled onto the free list, and its piece bitfield joins the
+// reuse pool. The roster entry survives with the peer's totals, completion
+// state and final rank, so departed peers still appear in the metrics.
 func (s *Swarm) Depart(id int) {
 	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
 		return
 	}
 	p := &s.peers[id]
-	p.departed = true
-	P := s.opt.Pieces
-	for e := s.off[id]; e < s.off[id+1]; e++ {
+	sl := p.slot
+	base := sl * s.edgeCap
+	for s.deg[sl] > 0 {
+		e := base + s.deg[sl] - 1 // unwire p's edges from the back
 		q := &s.peers[s.nbr[e]]
 		er := s.rev[e] // q's edge back to p
-		// Neighbors lose availability of p's pieces (iterating only the
-		// set bits of p's bitfield) and any in-flight download from p.
-		base := q.id * P
-		for wi, w := range p.have.words {
-			for w != 0 {
-				piece := wi<<6 + bits.TrailingZeros64(w)
-				w &= w - 1
-				s.avail[base+piece]--
-			}
-		}
-		s.inflight[er] = -1
-		s.unchoked[er] = false
-		if q.optimistic == er {
-			q.optimistic = -1
+		s.availSub(q.slot, p.have)
+		s.removeEdgeHalf(q, er)
+		s.deg[sl]--
+	}
+	// Discard partial piece progress and zero the slot's own availability
+	// row so the next occupant starts clean — a direct clear, cheaper than
+	// decrementing per departing edge.
+	pbase := int(sl) * s.opt.Pieces
+	for i := pbase; i < pbase+s.opt.Pieces; i++ {
+		s.pieceProgress[i] = 0
+		s.avail[i] = 0
+	}
+
+	p.optimistic = -1
+	p.departed = true
+	p.departRound = s.round
+	p.slot = -1
+	if p.done {
+		s.presentDone--
+	}
+	s.present--
+	s.totalDeparted++
+	s.trackerUnregister(id)
+
+	// Present peers ranked below the leaver shift up one; p keeps the rank
+	// it held at departure.
+	pr := s.rank[id]
+	for _, j := range s.trk.present {
+		if s.rank[j] > pr {
+			s.rank[j]--
 		}
 	}
+
+	s.slotPeer[sl] = -1
+	s.freeSlots = append(s.freeSlots, sl)
+	s.havePool = append(s.havePool, p.have)
+	p.have = bitset{}
 }
 
 // wantsAlong reports whether peer v wants data from peer u, where e is v's
@@ -112,7 +132,8 @@ func (s *Swarm) wantsAlong(v, u *peer, e int32) bool {
 // TFT slots.
 func (s *Swarm) rechokePeer(p *peer) {
 	interval := float64(s.opt.ChokeIntervalRounds)
-	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+	base, end := s.edges(p.id)
+	for e := base; e < end; e++ {
 		s.recvRate[e] = s.recvWindow[e] / interval
 		s.recvWindow[e] = 0
 	}
@@ -127,7 +148,8 @@ func (s *Swarm) rechokePeer(p *peer) {
 // delivered the most data in the last interval and are interested in us.
 func (s *Swarm) rechokeLeecher(p *peer) {
 	nc := 0
-	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+	base, end := s.edges(p.id)
+	for e := base; e < end; e++ {
 		s.unchoked[e] = false
 		q := &s.peers[s.nbr[e]]
 		if !s.wantsAlong(q, p, s.rev[e]) {
@@ -176,10 +198,11 @@ func (s *Swarm) rechokeLeecher(p *peer) {
 func (s *Swarm) rechokeSeed(p *peer) {
 	p.optimistic = -1 // seeds fold the optimistic slot into rotation
 	nc := 0
-	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+	base, end := s.edges(p.id)
+	for e := base; e < end; e++ {
 		s.unchoked[e] = false
 		q := &s.peers[s.nbr[e]]
-		if !q.departed && s.wantsAlong(q, p, s.rev[e]) {
+		if s.wantsAlong(q, p, s.rev[e]) {
 			s.candE[nc] = e
 			nc++
 		}
@@ -201,9 +224,10 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 	}
 	p.optimistic = -1
 	nc := 0
-	for e := s.off[p.id]; e < s.off[p.id+1]; e++ {
+	base, end := s.edges(p.id)
+	for e := base; e < end; e++ {
 		q := &s.peers[s.nbr[e]]
-		if !s.unchoked[e] && !q.departed && s.wantsAlong(q, p, s.rev[e]) {
+		if !s.unchoked[e] && s.wantsAlong(q, p, s.rev[e]) {
 			s.candE[nc] = e
 			nc++
 		}
@@ -223,13 +247,19 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 // burned on completed data.
 func (s *Swarm) transfer() {
 	P := s.opt.Pieces
-	for i := range s.peers {
-		u := &s.peers[i]
-		if u.departed || u.capacity <= 0 {
+	for sl := 0; sl < s.slotCap; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
+			continue
+		}
+		u := &s.peers[id]
+		if u.capacity <= 0 {
 			continue
 		}
 		na := 0
-		for e := s.off[i]; e < s.off[i+1]; e++ {
+		base := int32(sl) * s.edgeCap
+		end := base + s.deg[sl]
+		for e := base; e < end; e++ {
 			if !s.unchoked[e] && e != u.optimistic {
 				continue
 			}
@@ -263,7 +293,7 @@ func (s *Swarm) transfer() {
 						break // u has nothing v needs
 					}
 				}
-				idx := v.id*P + piece
+				idx := int(v.slot)*P + piece
 				need := s.opt.PieceKbit - s.pieceProgress[idx]
 				amt := remaining
 				if need < amt {
@@ -292,19 +322,20 @@ func (s *Swarm) pickPiece(v, u *peer) int {
 	// Stamp v's in-flight pieces into the scratch mark array; a fresh stamp
 	// per call avoids both clearing and allocating.
 	s.stamp++
-	for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+	base, end := s.edges(v.id)
+	for e := base; e < end; e++ {
 		if piece := s.inflight[e]; piece >= 0 {
 			s.mark[piece] = s.stamp
 		}
 	}
-	base := v.id * s.opt.Pieces
+	abase := int(v.slot) * s.opt.Pieces
 	bestFresh, bestFreshAvail := -1, int32(1<<30)
 	bestAny, bestAnyAvail := -1, int32(1<<30)
 	for piece := 0; piece < s.opt.Pieces; piece++ {
 		if v.have.has(piece) || !u.have.has(piece) {
 			continue
 		}
-		a := s.avail[base+piece]
+		a := s.avail[abase+piece]
 		if a < bestAnyAvail {
 			bestAny, bestAnyAvail = piece, a
 		}
@@ -319,19 +350,18 @@ func (s *Swarm) pickPiece(v, u *peer) int {
 }
 
 // completePiece finalizes v's acquisition of piece: incremental interest and
-// availability bookkeeping, in-flight cleanup, and completion detection.
+// availability bookkeeping, in-flight cleanup, and completion (seed
+// promotion) detection.
 func (s *Swarm) completePiece(v *peer, piece int) {
 	v.haveCount++
 	P := s.opt.Pieces
-	for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+	base, end := s.edges(v.id)
+	for e := base; e < end; e++ {
 		if s.inflight[e] == int32(piece) {
 			s.inflight[e] = -1
 		}
 		q := &s.peers[s.nbr[e]]
-		if q.departed {
-			continue
-		}
-		s.avail[q.id*P+piece]++
+		s.avail[int(q.slot)*P+piece]++
 		if q.have.has(piece) {
 			// v no longer misses this piece from q.
 			s.want[e]--
@@ -343,7 +373,8 @@ func (s *Swarm) completePiece(v *peer, piece int) {
 	if v.haveCount == s.opt.Pieces {
 		v.done = true
 		v.doneRound = s.round + 1
-		for e := s.off[v.id]; e < s.off[v.id+1]; e++ {
+		s.presentDone++
+		for e := base; e < end; e++ {
 			s.inflight[e] = -1
 		}
 	}

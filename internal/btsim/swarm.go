@@ -16,15 +16,25 @@
 //
 // # Engine layout
 //
-// The stepping hot path is allocation-free. All per-connection state lives
-// in flat CSR-style arrays owned by the Swarm: edge e ∈ [off[i], off[i+1])
-// runs from peer i to peer nbr[e], and rev[e] is the index of the opposite
-// edge (the slot peer nbr[e] uses for i), built once at wiring time so no
-// step ever searches a neighbor list. Interest (want) and piece rarity
-// (avail) are maintained incrementally on piece completion and departure
-// instead of rescanning bitfields. Candidate and active lists used by the
-// choking and transfer logic are preallocated scratch buffers sized to the
-// maximum degree.
+// The stepping hot path is allocation-free, and the swarm supports dynamic
+// membership: peers join through the tracker (Join/Announce) and leave with
+// Depart at any round, so churn scenarios (see scenario.go) can run
+// arbitrary arrival and departure processes.
+//
+// Identity and wiring are separate. The roster s.peers is append-only —
+// peer ids are stable forever and departed peers keep their totals for the
+// metrics. Connection state lives in fixed-stride CSR slots: a present peer
+// occupies slot sl and its edges are e ∈ [sl·edgeCap, sl·edgeCap+deg[sl]),
+// giving every peer edge-capacity headroom so joins and departures are
+// O(degree) swap-updates instead of rebuilds. Departed peers' slots go on a
+// free list and are recycled (grown by doubling only when the concurrent
+// population exceeds all past peaks). rev[e] is the index of the opposite
+// edge, maintained across joins, departures and swap-deletes so no step
+// ever searches a neighbor list. Interest (want) and piece rarity (avail,
+// indexed by slot) are maintained incrementally on piece completion, edge
+// addition and edge removal instead of rescanning bitfields. Candidate and
+// active lists used by the choking and transfer logic are preallocated
+// scratch buffers sized to the per-slot edge capacity.
 package btsim
 
 import (
@@ -59,9 +69,20 @@ type Options struct {
 	// OptimisticIntervalRounds is how often the optimistic slot rotates
 	// (BitTorrent: every 30 s).
 	OptimisticIntervalRounds int
-	// NeighborCount is the number of random neighbors the tracker hands
-	// each peer (the paper's d).
+	// NeighborCount is the number of neighbors the tracker targets per peer
+	// (the paper's d): Announce hands out peers until the announcer holds
+	// this many connections.
 	NeighborCount int
+	// MaxNeighbors caps a peer's degree (its CSR slot's edge capacity):
+	// incoming introductions stop once a peer is this well-connected. 0
+	// means 2·NeighborCount+8, mirroring the degree overshoot symmetric
+	// wiring produces. Must be at least NeighborCount.
+	MaxNeighbors int
+	// MaxPeers preallocates CSR slots for this many concurrent peers so
+	// churn scenarios reach steady state without growth reallocation. 0
+	// means the initial population; the swarm grows by doubling beyond
+	// either value.
+	MaxPeers int
 	// PostFlashCrowd starts every leecher with each piece independently
 	// with probability 1/2, making content availability a non-issue — the
 	// paper's post-flash-crowd assumption. When false, leechers start
@@ -98,19 +119,29 @@ func (o *Options) withDefaults() Options {
 	if opt.NeighborCount == 0 {
 		opt.NeighborCount = 20
 	}
+	if opt.MaxNeighbors == 0 {
+		opt.MaxNeighbors = 2*opt.NeighborCount + 8
+	}
 	if opt.PieceKbit == 0 {
 		opt.PieceKbit = 2048 // 256 KiB pieces
 	}
 	return opt
 }
 
-// peer holds the per-peer scalar state. All per-connection and per-piece
-// state lives in the Swarm's flat arrays (see the package comment).
+// peer holds the per-peer scalar state. The roster is append-only: a peer
+// keeps its id and statistics after departing. All per-connection and
+// per-piece state lives in the Swarm's slot-indexed flat arrays (see the
+// package comment).
 type peer struct {
 	id       int
+	slot     int32 // CSR slot while present, −1 after departing
 	capacity float64
-	isSeed   bool // initial seed: never downloads
-	departed bool // left the swarm (failure injection)
+	isSeed   bool // joined as a seed: never downloads
+	departed bool // left the swarm
+	// joinRound / departRound delimit the peer's presence (departRound is
+	// −1 while the peer is in the swarm).
+	joinRound   int
+	departRound int
 
 	have      bitset
 	haveCount int
@@ -130,21 +161,29 @@ type peer struct {
 	tftPartnerCount   int
 }
 
-// Swarm is a running simulation. Create with New, advance with Run or Step.
+// Swarm is a running simulation. Create with New, advance with Run or Step,
+// change membership with Join and Depart.
 type Swarm struct {
 	opt   Options
-	peers []peer
+	peers []peer // roster: every peer that ever joined, by id
 	r     *rng.RNG
 	round int
 
-	// rank[i] is peer i's global bandwidth rank (0 = fastest) among the
-	// initial population; the stratification metrics compare partner ranks.
+	// rank[id] is the peer's bandwidth rank (0 = fastest) among the peers
+	// currently present, maintained incrementally on joins and departures;
+	// a departed peer keeps the rank it held when it left. The
+	// stratification metrics compare partner ranks.
 	rank []int
 
-	// CSR edge state. Edge e ∈ [off[i], off[i+1]) runs from peer i to peer
-	// nbr[e]; rev[e] is the opposite edge. Neighbor blocks are sorted by
-	// peer id.
-	off []int32
+	// Slot-based CSR edge state. A present peer in slot sl owns edges
+	// e ∈ [sl·edgeCap, sl·edgeCap+deg[sl]); nbr[e] is the target's peer id
+	// and rev[e] the opposite edge's index.
+	edgeCap   int32
+	slotCap   int
+	slotPeer  []int32 // slot → occupant peer id, −1 when free
+	freeSlots []int32 // stack of free slots
+	deg       []int32 // slot → current degree
+
 	nbr []int32
 	rev []int32
 
@@ -163,17 +202,30 @@ type Swarm struct {
 	inflight []int32
 	// want[e] counts the pieces the target of e has that the owner lacks;
 	// want[e] > 0 means the owner is interested in the target. Maintained
-	// incrementally by completePiece.
+	// incrementally by completePiece, addEdge and removeEdgeHalf.
 	want []int32
 
-	// avail[i*Pieces+p] counts how many of i's neighbors have piece p
-	// (rarest-first input); pieceProgress[i*Pieces+p] is the accumulated
-	// kbit towards piece p.
+	// avail[sl*Pieces+p] counts how many neighbors of the peer in slot sl
+	// have piece p (rarest-first input); pieceProgress[sl*Pieces+p] is the
+	// accumulated kbit towards piece p.
 	avail         []int32
 	pieceProgress []float64
 
-	// Scratch buffers (sized to the maximum degree / piece count) reused by
-	// every call on the stepping hot path — Step never allocates.
+	// havePool recycles the piece bitfields of departed peers so steady
+	// churn does not allocate.
+	havePool []bitset
+
+	// Membership counters. present includes promoted seeds; presentDone is
+	// the present peers holding every piece (initial seeds + finished
+	// leechers that have not departed).
+	present       int
+	presentDone   int
+	totalDeparted int
+
+	trk tracker
+
+	// Scratch buffers (sized to the per-slot edge capacity / piece count)
+	// reused by every call on the stepping hot path — Step never allocates.
 	candE    []int32
 	candRate []float64
 	active   []int32
@@ -197,6 +249,9 @@ func New(o Options) (*Swarm, error) {
 		return nil, fmt.Errorf("btsim: %d capacities for %d peers", len(opt.UploadKbps), n)
 	case opt.NeighborCount < 1:
 		return nil, fmt.Errorf("btsim: neighbor count %d", opt.NeighborCount)
+	case opt.MaxNeighbors < opt.NeighborCount:
+		return nil, fmt.Errorf("btsim: max neighbors %d below neighbor count %d",
+			opt.MaxNeighbors, opt.NeighborCount)
 	case opt.TFTSlots < 1:
 		return nil, fmt.Errorf("btsim: %d TFT slots", opt.TFTSlots)
 	}
@@ -208,11 +263,13 @@ func New(o Options) (*Swarm, error) {
 		}
 		p := &s.peers[i]
 		p.id = i
+		p.slot = int32(i)
 		p.capacity = capKbps
 		p.isSeed = i >= opt.Leechers
 		p.have = newBitset(opt.Pieces)
 		p.optimistic = -1
 		p.doneRound = -1
+		p.departRound = -1
 		if p.isSeed {
 			p.have.setAll()
 			p.haveCount = opt.Pieces
@@ -230,9 +287,60 @@ func New(o Options) (*Swarm, error) {
 				p.doneRound = 0
 			}
 		}
+		if p.done {
+			s.presentDone++
+		}
 	}
+	s.present = n
 	s.rank = bandwidthRanks(s.peers)
-	s.wireNeighbors()
+
+	// Slot arrays: the initial population occupies slots 0..n-1 (slot ==
+	// id), the rest of the preallocation goes on the free stack.
+	s.edgeCap = int32(opt.MaxNeighbors)
+	s.slotCap = n
+	if opt.MaxPeers > n {
+		s.slotCap = opt.MaxPeers
+	}
+	s.slotPeer = make([]int32, s.slotCap)
+	for sl := range s.slotPeer {
+		s.slotPeer[sl] = -1
+	}
+	for i := 0; i < n; i++ {
+		s.slotPeer[i] = int32(i)
+	}
+	s.freeSlots = make([]int32, 0, s.slotCap)
+	for sl := s.slotCap - 1; sl >= n; sl-- {
+		s.freeSlots = append(s.freeSlots, int32(sl))
+	}
+	s.deg = make([]int32, s.slotCap)
+
+	total := s.slotCap * int(s.edgeCap)
+	s.nbr = make([]int32, total)
+	s.rev = make([]int32, total)
+	s.recvWindow = make([]float64, total)
+	s.recvRate = make([]float64, total)
+	s.unchoked = make([]bool, total)
+	s.inflight = make([]int32, total)
+	s.want = make([]int32, total)
+	s.avail = make([]int32, s.slotCap*opt.Pieces)
+	s.pieceProgress = make([]float64, s.slotCap*opt.Pieces)
+
+	s.candE = make([]int32, s.edgeCap)
+	s.candRate = make([]float64, s.edgeCap)
+	s.active = make([]int32, s.edgeCap)
+	s.mark = make([]uint64, opt.Pieces)
+
+	// Initial wiring goes through the tracker, exactly like later joins:
+	// every peer registers, then announces in id order, topping its
+	// neighborhood up to NeighborCount (incoming introductions count).
+	s.trk.pos = make([]int32, 0, n)
+	s.trk.present = make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		s.trackerRegister(i)
+	}
+	for i := 0; i < n; i++ {
+		s.Announce(i)
+	}
 	return s, nil
 }
 
@@ -262,108 +370,222 @@ func bandwidthRanks(peers []peer) []int {
 	return rank
 }
 
-// wireNeighbors gives every peer NeighborCount random distinct neighbors
-// (symmetric: if the tracker introduces a to b, both know each other) and
-// builds the CSR edge arrays, reverse-edge tables, and the incremental
-// interest and availability bookkeeping.
-func (s *Swarm) wireNeighbors() {
-	n := len(s.peers)
-	adj := make([]map[int]struct{}, n)
-	for i := range adj {
-		adj[i] = make(map[int]struct{}, s.opt.NeighborCount*2)
-	}
-	for i := 0; i < n; i++ {
-		for len(adj[i]) < s.opt.NeighborCount && len(adj[i]) < n-1 {
-			j := s.r.Intn(n)
-			if j == i {
-				continue
-			}
-			adj[i][j] = struct{}{}
-			adj[j][i] = struct{}{}
-		}
-	}
+// edges returns the live edge range [base, end) of a present peer.
+func (s *Swarm) edges(id int) (base, end int32) {
+	sl := s.peers[id].slot
+	base = sl * s.edgeCap
+	return base, base + s.deg[sl]
+}
 
-	// CSR offsets and sorted neighbor blocks.
-	s.off = make([]int32, n+1)
-	total := 0
-	maxDeg := 0
-	for i, set := range adj {
-		s.off[i] = int32(total)
-		total += len(set)
-		if len(set) > maxDeg {
-			maxDeg = len(set)
-		}
-	}
-	s.off[n] = int32(total)
-	s.nbr = make([]int32, total)
-	for i, set := range adj {
-		blk := s.nbr[s.off[i]:s.off[i+1]]
-		k := 0
-		for j := range set {
-			blk[k] = int32(j)
-			k++
-		}
-		// Deterministic order: sort ascending (insertion, small lists).
-		for a := 1; a < len(blk); a++ {
-			for b := a; b > 0 && blk[b-1] > blk[b]; b-- {
-				blk[b-1], blk[b] = blk[b], blk[b-1]
-			}
-		}
-	}
+// Present returns the number of peers currently in the swarm.
+func (s *Swarm) Present() int { return s.present }
 
-	// Reverse-edge table: rev[e] is j's edge back to i, located once by
-	// binary search at wiring time so the hot paths never search.
-	s.rev = make([]int32, total)
-	for i := 0; i < n; i++ {
-		for e := s.off[i]; e < s.off[i+1]; e++ {
-			j := s.nbr[e]
-			lo, hi := s.off[j], s.off[j+1]
-			for lo < hi {
-				mid := (lo + hi) / 2
-				if s.nbr[mid] < int32(i) {
-					lo = mid + 1
-				} else {
-					hi = mid
-				}
-			}
-			s.rev[e] = lo
+// PresentSeeds returns the present peers holding the complete file:
+// initial seeds plus leechers promoted on completion.
+func (s *Swarm) PresentSeeds() int { return s.presentDone }
+
+// PresentLeechers returns the present peers still downloading.
+func (s *Swarm) PresentLeechers() int { return s.present - s.presentDone }
+
+// TotalJoined returns the number of peers that ever joined (the roster
+// size); peer ids run 0..TotalJoined()-1.
+func (s *Swarm) TotalJoined() int { return len(s.peers) }
+
+// TotalDeparted returns the number of peers that have left.
+func (s *Swarm) TotalDeparted() int { return s.totalDeparted }
+
+// Degree returns the current connection count of a peer (0 if departed or
+// out of range).
+func (s *Swarm) Degree(id int) int {
+	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
+		return 0
+	}
+	return int(s.deg[s.peers[id].slot])
+}
+
+// Join adds a new peer mid-simulation: it takes a recycled (or new) CSR
+// slot, registers with the tracker, and announces to receive an initial
+// neighbor handout. A seed joins with the full piece set; a leecher joins
+// empty (newcomers have nothing — the post-flash-crowd head start only
+// applies to the initial population). The new peer's id is returned.
+func (s *Swarm) Join(capacityKbps float64, asSeed bool) int {
+	id := len(s.peers)
+	sl := s.allocSlot()
+	var bs bitset
+	if k := len(s.havePool); k > 0 {
+		bs = s.havePool[k-1]
+		s.havePool = s.havePool[:k-1]
+		bs.clear()
+	} else {
+		bs = newBitset(s.opt.Pieces)
+	}
+	s.peers = append(s.peers, peer{
+		id:          id,
+		slot:        sl,
+		capacity:    capacityKbps,
+		have:        bs,
+		isSeed:      asSeed,
+		optimistic:  -1,
+		doneRound:   -1,
+		departRound: -1,
+		joinRound:   s.round,
+	})
+	p := &s.peers[id]
+	if asSeed {
+		p.have.setAll()
+		p.haveCount = s.opt.Pieces
+		p.done = true
+		p.doneRound = s.round
+		s.presentDone++
+	}
+	s.slotPeer[sl] = int32(id)
+	s.present++
+
+	// Rank insertion among the present population: the newcomer slots in
+	// at its capacity position and everyone at or below shifts down one.
+	nr := 0
+	for _, j := range s.trk.present {
+		q := &s.peers[j]
+		if q.capacity > capacityKbps || (q.capacity == capacityKbps && q.id < id) {
+			nr++
 		}
 	}
-
-	// Per-edge transfer state.
-	s.recvWindow = make([]float64, total)
-	s.recvRate = make([]float64, total)
-	s.unchoked = make([]bool, total)
-	s.inflight = make([]int32, total)
-	for e := range s.inflight {
-		s.inflight[e] = -1
-	}
-
-	// Interest and availability bookkeeping, seeded from the initial
-	// bitfields and maintained incrementally afterwards.
-	P := s.opt.Pieces
-	s.want = make([]int32, total)
-	s.avail = make([]int32, n*P)
-	s.pieceProgress = make([]float64, n*P)
-	for i := 0; i < n; i++ {
-		p := &s.peers[i]
-		base := i * P
-		for e := s.off[i]; e < s.off[i+1]; e++ {
-			q := &s.peers[s.nbr[e]]
-			s.want[e] = int32(p.have.countMissingIn(q.have))
-			for wi, w := range q.have.words {
-				for w != 0 {
-					piece := wi<<6 + bits.TrailingZeros64(w)
-					w &= w - 1
-					s.avail[base+piece]++
-				}
-			}
+	for _, j := range s.trk.present {
+		if s.rank[j] >= nr {
+			s.rank[j]++
 		}
 	}
+	s.rank = append(s.rank, nr)
 
-	// Scratch buffers for the stepping hot path.
-	s.candE = make([]int32, maxDeg)
-	s.candRate = make([]float64, maxDeg)
-	s.active = make([]int32, maxDeg)
-	s.mark = make([]uint64, P)
+	s.trackerRegister(id)
+	s.Announce(id)
+	return id
+}
+
+// allocSlot pops a free CSR slot, doubling the slot arrays when the
+// concurrent population exceeds every past peak.
+func (s *Swarm) allocSlot() int32 {
+	if len(s.freeSlots) == 0 {
+		s.grow()
+	}
+	sl := s.freeSlots[len(s.freeSlots)-1]
+	s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+	return sl
+}
+
+// grown copies a into a fresh zero-tailed slice of length n.
+func grown[T any](a []T, n int) []T {
+	b := make([]T, n)
+	copy(b, a)
+	return b
+}
+
+// grow doubles the slot capacity. Edge indices are preserved: the stride
+// edgeCap is fixed, so existing blocks copy verbatim and rev stays valid.
+func (s *Swarm) grow() {
+	old := s.slotCap
+	s.slotCap *= 2
+	total := s.slotCap * int(s.edgeCap)
+
+	s.nbr = grown(s.nbr, total)
+	s.rev = grown(s.rev, total)
+	s.inflight = grown(s.inflight, total)
+	s.want = grown(s.want, total)
+	s.recvWindow = grown(s.recvWindow, total)
+	s.recvRate = grown(s.recvRate, total)
+	s.unchoked = grown(s.unchoked, total)
+
+	s.avail = grown(s.avail, s.slotCap*s.opt.Pieces)
+	s.pieceProgress = grown(s.pieceProgress, s.slotCap*s.opt.Pieces)
+
+	s.deg = grown(s.deg, s.slotCap)
+	s.slotPeer = grown(s.slotPeer, s.slotCap)
+	for sl := old; sl < s.slotCap; sl++ {
+		s.slotPeer[sl] = -1
+	}
+	for sl := s.slotCap - 1; sl >= old; sl-- {
+		s.freeSlots = append(s.freeSlots, int32(sl))
+	}
+}
+
+// addEdge wires a symmetric connection between two present peers, seeding
+// the per-edge transfer state and the incremental interest and availability
+// counters. Callers guarantee headroom on both sides and no existing edge.
+func (s *Swarm) addEdge(a, b *peer) {
+	asl, bsl := a.slot, b.slot
+	ea := asl*s.edgeCap + s.deg[asl]
+	eb := bsl*s.edgeCap + s.deg[bsl]
+	s.nbr[ea], s.nbr[eb] = int32(b.id), int32(a.id)
+	s.rev[ea], s.rev[eb] = eb, ea
+	s.recvWindow[ea], s.recvWindow[eb] = 0, 0
+	s.recvRate[ea], s.recvRate[eb] = 0, 0
+	s.unchoked[ea], s.unchoked[eb] = false, false
+	s.inflight[ea], s.inflight[eb] = -1, -1
+	s.want[ea] = int32(a.have.countMissingIn(b.have))
+	s.want[eb] = int32(b.have.countMissingIn(a.have))
+	s.availAdd(asl, b.have)
+	s.availAdd(bsl, a.have)
+	s.deg[asl]++
+	s.deg[bsl]++
+}
+
+// removeEdgeHalf deletes edge er from q's block by swapping the block's
+// last edge into its place and fixing the moved edge's reverse pointer (and
+// q's optimistic slot, if it referenced either edge).
+func (s *Swarm) removeEdgeHalf(q *peer, er int32) {
+	qsl := q.slot
+	last := qsl*s.edgeCap + s.deg[qsl] - 1
+	if q.optimistic == er {
+		q.optimistic = -1
+	}
+	if er != last {
+		s.nbr[er] = s.nbr[last]
+		s.rev[er] = s.rev[last]
+		s.recvWindow[er] = s.recvWindow[last]
+		s.recvRate[er] = s.recvRate[last]
+		s.unchoked[er] = s.unchoked[last]
+		s.inflight[er] = s.inflight[last]
+		s.want[er] = s.want[last]
+		s.rev[s.rev[last]] = er
+		if q.optimistic == last {
+			q.optimistic = er
+		}
+	}
+	s.deg[qsl]--
+}
+
+// hasEdge reports whether peer a already has a connection to peer id b.
+func (s *Swarm) hasEdge(a *peer, b int) bool {
+	base := a.slot * s.edgeCap
+	for e := base; e < base+s.deg[a.slot]; e++ {
+		if s.nbr[e] == int32(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// availAdd counts b's pieces into slot sl's availability (iterating only
+// the set bits).
+func (s *Swarm) availAdd(sl int32, b bitset) {
+	base := int(sl) * s.opt.Pieces
+	for wi, w := range b.words {
+		for w != 0 {
+			piece := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			s.avail[base+piece]++
+		}
+	}
+}
+
+// availSub removes b's pieces from slot sl's availability.
+func (s *Swarm) availSub(sl int32, b bitset) {
+	base := int(sl) * s.opt.Pieces
+	for wi, w := range b.words {
+		for w != 0 {
+			piece := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			s.avail[base+piece]--
+		}
+	}
 }

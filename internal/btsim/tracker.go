@@ -1,0 +1,99 @@
+package btsim
+
+// tracker is the swarm's membership registry: the set of present peer ids,
+// with O(1) register/unregister (swap-delete) and uniform random sampling
+// for neighbor handout. It models a BitTorrent tracker: peers announce on
+// arrival (and re-announce when under-connected) and receive a random
+// subset of the currently registered swarm.
+type tracker struct {
+	present []int32 // present peer ids, order irrelevant
+	pos     []int32 // id → index in present, −1 when absent
+}
+
+func (s *Swarm) trackerRegister(id int) {
+	for len(s.trk.pos) < len(s.peers) {
+		s.trk.pos = append(s.trk.pos, -1)
+	}
+	s.trk.pos[id] = int32(len(s.trk.present))
+	s.trk.present = append(s.trk.present, int32(id))
+}
+
+func (s *Swarm) trackerUnregister(id int) {
+	i := s.trk.pos[id]
+	last := int32(len(s.trk.present) - 1)
+	moved := s.trk.present[last]
+	s.trk.present[i] = moved
+	s.trk.pos[moved] = i
+	s.trk.present = s.trk.present[:last]
+	s.trk.pos[id] = -1
+}
+
+// Announce asks the tracker for neighbors: it hands peer id uniformly
+// random present peers until the announcer holds NeighborCount connections
+// (incoming introductions count towards the target), skipping itself,
+// existing neighbors, and peers already at their MaxNeighbors degree cap.
+// Introductions are symmetric — both sides learn each other, like a real
+// tracker response followed by a handshake. The number of connections added
+// is returned. Announce is a no-op for departed or out-of-range ids.
+func (s *Swarm) Announce(id int) int {
+	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
+		return 0
+	}
+	p := &s.peers[id]
+	need := s.opt.NeighborCount - int(s.deg[p.slot])
+	// Every neighbor is present, so the announcer can add at most the
+	// present peers it is not yet connected to — without this cap a peer
+	// in a drained swarm would burn its whole attempt budget every
+	// re-announce chasing an unreachable target.
+	if achievable := len(s.trk.present) - 1 - int(s.deg[p.slot]); need > achievable {
+		need = achievable
+	}
+	if need <= 0 {
+		return 0
+	}
+	added := 0
+	// Rejection sampling with a bounded attempt budget: when most of the
+	// swarm is already saturated the announcer settles for fewer neighbors
+	// and retries at its next re-announce instead of spinning.
+	for attempts := 16*need + 16; need > 0 && attempts > 0; attempts-- {
+		if s.deg[p.slot] >= s.edgeCap {
+			break
+		}
+		cand := s.trk.present[s.r.Intn(len(s.trk.present))]
+		if int(cand) == id {
+			continue
+		}
+		q := &s.peers[cand]
+		if s.deg[q.slot] >= s.edgeCap || s.hasEdge(p, int(cand)) {
+			continue
+		}
+		s.addEdge(p, q)
+		added++
+		need--
+	}
+	return added
+}
+
+// ReannounceUnderConnected lets present peers whose degree fell below the
+// tracker target (departures eat neighborhoods) re-announce for a fresh
+// handout. Peers are staggered by id over the interval — each call only
+// processes ids scheduled for the current round, like independent client
+// announce timers; interval <= 1 processes every under-connected peer. The
+// total number of connections added is returned.
+func (s *Swarm) ReannounceUnderConnected(interval int) int {
+	target := s.opt.NeighborCount
+	if max := len(s.trk.present) - 1; target > max {
+		target = max // a drained swarm cannot offer more neighbors
+	}
+	added := 0
+	for i := 0; i < len(s.trk.present); i++ {
+		id := int(s.trk.present[i])
+		if interval > 1 && (s.round+id)%interval != 0 {
+			continue
+		}
+		if int(s.deg[s.peers[id].slot]) < target {
+			added += s.Announce(id)
+		}
+	}
+	return added
+}

@@ -33,37 +33,71 @@ type Report struct {
 	MMO float64
 }
 
+// Analyzer computes cluster reports while reusing its union-find and
+// component-marking scratch across calls — sweep loops (Figure 6, Table 1)
+// analyze thousands of configurations, and the per-call array allocations
+// used to be a measured hot spot. The zero value is ready to use; an
+// Analyzer is single-goroutine (parallel sweeps keep one per worker).
+type Analyzer struct {
+	parent []int
+	size   []int
+	// seenRoot[root] == generation marks roots already counted in the
+	// current call; bumping the generation clears the marks in O(1).
+	seenRoot   []uint32
+	generation uint32
+	// budgets is scratch for AnalyzeNormal's per-peer slot samples.
+	budgets []int
+}
+
+// grow resizes the scratch to n peers and resets the union-find.
+func (a *Analyzer) grow(n int) {
+	if cap(a.parent) < n {
+		a.parent = make([]int, n)
+		a.size = make([]int, n)
+		a.seenRoot = make([]uint32, n)
+		a.generation = 0
+	}
+	a.parent = a.parent[:n]
+	a.size = a.size[:n]
+	a.seenRoot = a.seenRoot[:n]
+	for i := 0; i < n; i++ {
+		a.parent[i] = i
+		a.size[i] = 1
+	}
+	a.generation++
+	if a.generation == 0 { // wrapped: marks are stale, clear them once
+		for i := range a.seenRoot {
+			a.seenRoot[i] = 0
+		}
+		a.generation = 1
+	}
+}
+
+func (a *Analyzer) find(x int) int {
+	for a.parent[x] != x {
+		a.parent[x] = a.parent[a.parent[x]]
+		x = a.parent[x]
+	}
+	return x
+}
+
+func (a *Analyzer) union(x, y int) {
+	rx, ry := a.find(x), a.find(y)
+	if rx == ry {
+		return
+	}
+	if a.size[rx] < a.size[ry] {
+		rx, ry = ry, rx
+	}
+	a.parent[ry] = rx
+	a.size[rx] += a.size[ry]
+}
+
 // Analyze computes the cluster report of a configuration.
-func Analyze(c *core.Config) Report {
+func (a *Analyzer) Analyze(c *core.Config) Report {
 	n := c.N()
 	rep := Report{Peers: n}
-
-	// Union-find over the collaboration edges.
-	parent := make([]int, n)
-	size := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-		size[i] = 1
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) {
-		ra, rb := find(a), find(b)
-		if ra == rb {
-			return
-		}
-		if size[ra] < size[rb] {
-			ra, rb = rb, ra
-		}
-		parent[rb] = ra
-		size[ra] += size[rb]
-	}
+	a.grow(n)
 
 	var mmoSum int64
 	for p := 0; p < n; p++ {
@@ -80,7 +114,7 @@ func Analyze(c *core.Config) Report {
 		mmoSum += int64(off)
 		for _, q := range mates {
 			if q > p {
-				union(p, q)
+				a.union(p, q)
 			}
 		}
 	}
@@ -89,23 +123,29 @@ func Analyze(c *core.Config) Report {
 	}
 	rep.MMO = float64(mmoSum) / float64(rep.Matched)
 
-	seen := make(map[int]struct{})
 	for p := 0; p < n; p++ {
 		if c.Degree(p) == 0 {
 			continue
 		}
-		root := find(p)
-		if _, ok := seen[root]; ok {
+		root := a.find(p)
+		if a.seenRoot[root] == a.generation {
 			continue
 		}
-		seen[root] = struct{}{}
+		a.seenRoot[root] = a.generation
 		rep.Components++
-		if size[root] > rep.MaxClusterSize {
-			rep.MaxClusterSize = size[root]
+		if a.size[root] > rep.MaxClusterSize {
+			rep.MaxClusterSize = a.size[root]
 		}
 	}
 	rep.MeanClusterSize = float64(rep.Matched) / float64(rep.Components)
 	return rep
+}
+
+// Analyze computes the cluster report of a configuration with one-shot
+// scratch. Loops should hold an Analyzer and call its method instead.
+func Analyze(c *core.Config) Report {
+	var a Analyzer
+	return a.Analyze(c)
 }
 
 // MMOClosedForm returns the exact Mean Max Offset of constant b0-matching on
@@ -137,22 +177,46 @@ func MMOLimit(b0 int) float64 { return 0.75 * float64(b0) }
 // N(mean, sigma²) — the paper's variable b-matching model.
 func NormalBudgets(n int, mean, sigma float64, r *rng.RNG) []int {
 	budgets := make([]int, n)
-	for i := range budgets {
-		budgets[i] = r.RoundedPositiveNormal(mean, sigma)
-	}
+	fillNormalBudgets(budgets, mean, sigma, r)
 	return budgets
+}
+
+// fillNormalBudgets is the shared sampling loop behind NormalBudgets and
+// the Analyzer's scratch-reusing path.
+func fillNormalBudgets(dst []int, mean, sigma float64, r *rng.RNG) {
+	for i := range dst {
+		dst[i] = r.RoundedPositiveNormal(mean, sigma)
+	}
 }
 
 // AnalyzeNormal builds the stable configuration on the complete graph with
 // N(mean, sigma²) budgets and returns its cluster report. It is the unit of
-// work behind Table 1's right half and Figure 6.
-func AnalyzeNormal(n int, mean, sigma float64, r *rng.RNG) Report {
-	return Analyze(core.StableComplete(NormalBudgets(n, mean, sigma, r)))
+// work behind Table 1's right half and Figure 6; the budget scratch is
+// reused across calls.
+func (a *Analyzer) AnalyzeNormal(n int, mean, sigma float64, r *rng.RNG) Report {
+	if cap(a.budgets) < n {
+		a.budgets = make([]int, n)
+	}
+	a.budgets = a.budgets[:n]
+	fillNormalBudgets(a.budgets, mean, sigma, r)
+	return a.Analyze(core.StableComplete(a.budgets))
 }
 
 // AnalyzeConstant builds the stable configuration of constant b0-matching on
 // the complete graph of n peers and returns its cluster report (Table 1's
 // left half).
+func (a *Analyzer) AnalyzeConstant(n, b0 int) Report {
+	return a.Analyze(core.StableCompleteUniform(n, b0))
+}
+
+// AnalyzeNormal is the one-shot form of Analyzer.AnalyzeNormal.
+func AnalyzeNormal(n int, mean, sigma float64, r *rng.RNG) Report {
+	var a Analyzer
+	return a.AnalyzeNormal(n, mean, sigma, r)
+}
+
+// AnalyzeConstant is the one-shot form of Analyzer.AnalyzeConstant.
 func AnalyzeConstant(n, b0 int) Report {
-	return Analyze(core.StableCompleteUniform(n, b0))
+	var a Analyzer
+	return a.AnalyzeConstant(n, b0)
 }

@@ -154,10 +154,43 @@ func TestTable1Shape(t *testing.T) {
 	}
 }
 
+// TestAnalyzerReuseMatchesOneShot: a reused Analyzer must report exactly
+// what fresh scratch reports, across mixed sizes (stale union-find or
+// component marks would skew components/MMO).
+func TestAnalyzerReuseMatchesOneShot(t *testing.T) {
+	var a Analyzer
+	for _, n := range []int{120, 60, 121, 120} {
+		r1, r2 := rng.New(uint64(n)), rng.New(uint64(n))
+		got := a.AnalyzeNormal(n, 6, 0.2, r1)
+		want := AnalyzeNormal(n, 6, 0.2, r2)
+		if got != want {
+			t.Fatalf("n=%d: reused analyzer %+v, fresh %+v", n, got, want)
+		}
+		gotC := a.AnalyzeConstant(n-n%4, 3)
+		wantC := AnalyzeConstant(n-n%4, 3)
+		if gotC != wantC {
+			t.Fatalf("n=%d: reused constant %+v, fresh %+v", n, gotC, wantC)
+		}
+	}
+}
+
+// TestAnalyzerSteadyStateAllocs pins the scratch reuse: after warmup, an
+// Analyzer's own bookkeeping allocates nothing (the configuration under
+// analysis still allocates inside core, which is out of scope here).
+func TestAnalyzerSteadyStateAllocs(t *testing.T) {
+	var a Analyzer
+	cfg := core.StableCompleteUniform(240, 3)
+	a.Analyze(cfg)
+	if allocs := testing.AllocsPerRun(100, func() { a.Analyze(cfg) }); allocs != 0 {
+		t.Fatalf("Analyzer.Analyze allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func BenchmarkAnalyzeNormal(b *testing.B) {
 	r := rng.New(1)
+	var a Analyzer
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		AnalyzeNormal(20000, 6, 0.2, r)
+		a.AnalyzeNormal(20000, 6, 0.2, r)
 	}
 }

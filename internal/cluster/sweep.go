@@ -24,14 +24,18 @@ func SigmaSweep(n int, mean float64, sigmas []float64, reps int, seed uint64, wo
 		reps = 1
 	}
 	points := make([]SweepPoint, len(sigmas))
-	par.ForEach(len(sigmas), workers, func(idx int) {
+	// One Analyzer per worker: the union-find scratch is reused across all
+	// of a worker's points without crossing goroutines.
+	analyzers := make([]Analyzer, par.Workers(len(sigmas), workers))
+	par.ForEachWorker(len(sigmas), workers, func(worker, idx int) {
 		sigma := sigmas[idx]
 		// Derive a per-point seed so results do not depend on worker
 		// scheduling.
 		r := rng.New(seed + uint64(idx)*0x9e3779b9)
+		a := &analyzers[worker]
 		var sumSize, sumMMO float64
 		for rep := 0; rep < reps; rep++ {
-			rp := AnalyzeNormal(n, mean, sigma, r)
+			rp := a.AnalyzeNormal(n, mean, sigma, r)
 			sumSize += rp.MeanClusterSize
 			sumMMO += rp.MMO
 		}
@@ -62,13 +66,15 @@ type TableRow struct {
 // any worker count.
 func Table1(n int, bs []int, sigma float64, reps int, seed uint64, workers int) []TableRow {
 	rows := make([]TableRow, len(bs))
-	par.ForEach(len(bs), workers, func(i int) {
+	analyzers := make([]Analyzer, par.Workers(len(bs), workers))
+	par.ForEachWorker(len(bs), workers, func(worker, i int) {
 		b := bs[i]
-		cst := AnalyzeConstant(n, b)
+		a := &analyzers[worker]
+		cst := a.AnalyzeConstant(n, b)
 		r := rng.New(seed + uint64(b)*0x51_7c_c1b7)
 		var sumSize, sumMMO float64
 		for rep := 0; rep < reps; rep++ {
-			rp := AnalyzeNormal(n, float64(b), sigma, r)
+			rp := a.AnalyzeNormal(n, float64(b), sigma, r)
 			sumSize += rp.MeanClusterSize
 			sumMMO += rp.MMO
 		}

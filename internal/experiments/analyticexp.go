@@ -125,7 +125,7 @@ func Figure9(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := analytic.MonteCarloChoicesWorkers(n, p, b0, peer, cfg.mcSamples(), cfg.Seed, cfg.workerCount())
+	mc, err := analytic.MonteCarloChoicesWorkers(n, p, b0, peer, cfg.mcSamples(), cfg.Seed, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -154,8 +154,13 @@ func Figure9(cfg Config) (*Result, error) {
 			return out
 		}
 		tv := stats.TotalVariation(binned(bm.Rows[peer][c]), binned(mc.ChoiceDist[c]))
-		res.noteCheck(tv < 0.08,
-			"%s: model vs %d-sample Monte-Carlo TV distance %.4f", choiceNames[c], mc.Samples, tv)
+		// Empirical TV carries an O(1/√samples) sampling-noise floor even
+		// when the model is exact; give reduced-sample runs that allowance
+		// (paper-scale runs keep the strict 0.08 gate).
+		tol := math.Max(0.08, 1.1/math.Sqrt(float64(mc.Samples)))
+		res.noteCheck(tv < tol,
+			"%s: model vs %d-sample Monte-Carlo TV distance %.4f (tol %.3f)",
+			choiceNames[c], mc.Samples, tv, tol)
 	}
 	res.note("paper used 10^6 Monte-Carlo draws; this run used %d (seconds instead of weeks)", mc.Samples)
 	return res, nil

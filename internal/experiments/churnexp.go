@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"math"
+
+	"stratmatch/internal/btsim"
+	"stratmatch/internal/par"
+	"stratmatch/internal/stats"
+	"stratmatch/internal/textplot"
+)
+
+// Churn runs the swarm simulator's dynamic-membership catalog — the regime
+// beyond the paper's fixed post-flash-crowd population, studied empirically
+// by Legout et al. and Al-Hamra et al.: a flash-crowd burst that forms and
+// drains, a Poisson steady state with abandonment and seed linger, and a
+// mass departure that the tracker's re-announce handouts must heal. Each
+// scenario runs several replicas; replicas fan out over Config.Workers with
+// per-replica seeds and slots, so results are byte-identical for any worker
+// count.
+func Churn(cfg Config) (*Result, error) {
+	names := btsim.ScenarioNames()
+	const replicas = 3
+	runs := make([]*btsim.ScenarioResult, len(names)*replicas)
+	scales := make([]btsim.Scenario, len(names)*replicas)
+	for i := range scales {
+		sc, err := btsim.NamedScenario(names[i/replicas], cfg.Seed+uint64(i%replicas)*0x9e3779b9, cfg.scale())
+		if err != nil {
+			return nil, err
+		}
+		scales[i] = sc
+	}
+	if err := par.ForEachErr(len(runs), cfg.Workers, func(i int) error {
+		res, err := scales[i].Run()
+		runs[i] = res
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Chart: textplot.Chart{XLabel: "round", YLabel: "present peers"},
+		TableHeader: []string{
+			"scenario", "round", "present", "leechers", "seeds",
+			"joined", "departed", "completed", "mean_degree",
+		},
+	}
+	for si, name := range names {
+		first := runs[si*replicas]
+		s := textplot.Series{Name: name}
+		for _, pt := range first.Series {
+			s.X = append(s.X, float64(pt.Round))
+			s.Y = append(s.Y, float64(pt.Present))
+			res.TableRows = append(res.TableRows, []float64{
+				float64(si), float64(pt.Round), float64(pt.Present),
+				float64(pt.Leechers), float64(pt.Seeds), float64(pt.Joined),
+				float64(pt.Departed), float64(pt.Completed), pt.MeanDegree,
+			})
+		}
+		res.Series = append(res.Series, s)
+	}
+
+	// Conservation must hold in every run: churn moves peers, never data.
+	worstGap := 0.0
+	for _, run := range runs {
+		var up, down float64
+		for _, pm := range run.Final.Peers {
+			up += pm.TotalUp
+			down += pm.TotalDown
+		}
+		if gap := math.Abs(up-down) / math.Max(1, up); gap > worstGap {
+			worstGap = gap
+		}
+	}
+	res.noteCheck(worstGap < 1e-9,
+		"flow conservation under churn: worst relative up/down gap %.2e", worstGap)
+
+	// perScenario resolves a scenario's replica runs and its config by
+	// name, so the checks below can never desynchronize from the catalog
+	// order.
+	perScenario := func(name string) ([]*btsim.ScenarioResult, btsim.Scenario) {
+		for si, n := range names {
+			if n == name {
+				return runs[si*replicas : (si+1)*replicas], scales[si*replicas]
+			}
+		}
+		return nil, btsim.Scenario{}
+	}
+
+	// Flash crowd: the burst forms a crowd several times the initial
+	// population, and the crowd drains — most arrivals complete the file.
+	var peakRatio, drained []float64
+	flashRuns, flashSc := perScenario("flashcrowd")
+	for _, run := range flashRuns {
+		initial := flashSc.Opt.Leechers + flashSc.Opt.Seeds
+		peak := 0
+		for _, pt := range run.Series {
+			if pt.Present > peak {
+				peak = pt.Present
+			}
+		}
+		last := run.Series[len(run.Series)-1]
+		peakRatio = append(peakRatio, float64(peak)/float64(initial))
+		drained = append(drained, float64(last.Completed)/float64(run.TotalJoined-flashSc.Opt.Seeds))
+	}
+	res.noteCheck(stats.Summarize(peakRatio).Mean > 2.5,
+		"flash crowd forms: peak population %.1fx the initial swarm", stats.Summarize(peakRatio).Mean)
+	res.noteCheck(stats.Summarize(drained).Mean > 0.5,
+		"flash crowd drains: %.0f%% of all leechers ever joined completed the file",
+		stats.Summarize(drained).Mean*100)
+
+	// Poisson steady state: continuous turnover with a live, bounded swarm.
+	var turnover, alive []float64
+	poissonRuns, _ := perScenario("poisson")
+	for _, run := range poissonRuns {
+		last := run.Series[len(run.Series)-1]
+		turnover = append(turnover, float64(run.TotalDeparted))
+		alive = append(alive, float64(last.Present))
+	}
+	res.noteCheck(stats.Summarize(turnover).Min > 0,
+		"steady state turns peers over: %.0f departures per run on average",
+		stats.Summarize(turnover).Mean)
+	res.noteCheck(stats.Summarize(alive).Min >= 1,
+		"steady state stays alive: %.1f peers present at the end on average",
+		stats.Summarize(alive).Mean)
+
+	// Mass departure: the overlay heals (mean degree recovers towards the
+	// tracker target) and downloads keep completing afterwards.
+	var healedDeg, extraDone []float64
+	massRuns, massSc := perScenario("massdepart")
+	for _, run := range massRuns {
+		last := run.Series[len(run.Series)-1]
+		healedDeg = append(healedDeg, last.MeanDegree/float64(massSc.Opt.NeighborCount))
+		eventRound := massSc.Events[0].Round
+		atEvent := 0
+		for _, pt := range run.Series {
+			if pt.Round <= eventRound {
+				atEvent = pt.Completed
+			}
+		}
+		extraDone = append(extraDone, float64(last.Completed-atEvent))
+	}
+	res.noteCheck(stats.Summarize(healedDeg).Mean > 0.7,
+		"overlay heals after mass departure: final mean degree at %.0f%% of the tracker target",
+		stats.Summarize(healedDeg).Mean*100)
+	res.noteCheck(stats.Summarize(extraDone).Mean > 0,
+		"downloads continue after the shock: %.1f completions past the event on average",
+		stats.Summarize(extraDone).Mean)
+
+	// Stratification under churn (contextual): the paper's fixed-population
+	// correlation, measured live on the Poisson steady state.
+	var corrs []float64
+	for _, run := range poissonRuns {
+		last := run.Series[len(run.Series)-1]
+		if !math.IsNaN(last.StratCorr) {
+			corrs = append(corrs, last.StratCorr)
+		}
+	}
+	if len(corrs) > 0 {
+		res.note("rank vs TFT-partner-rank correlation under steady churn: mean %.3f over %d replicas",
+			stats.Summarize(corrs).Mean, len(corrs))
+	}
+	return res, nil
+}

@@ -78,7 +78,7 @@ func Figure5(cfg Config) (*Result, error) {
 func Table1(cfg Config) (*Result, error) {
 	n := cfg.scaled(60000)
 	bs := []int{2, 3, 4, 5, 6, 7}
-	rows := cluster.Table1(n, bs, 0.2, 3, cfg.Seed, cfg.workerCount())
+	rows := cluster.Table1(n, bs, 0.2, 3, cfg.Seed, cfg.Workers)
 	res := &Result{
 		TableHeader: []string{
 			"b", "const_cluster", "const_mmo", "normal_cluster", "normal_mmo",
@@ -118,7 +118,7 @@ func Figure6(cfg Config) (*Result, error) {
 	for s := 0.0; s <= 2.0001; s += 0.05 {
 		sigmas = append(sigmas, s)
 	}
-	pts := cluster.SigmaSweep(n, 6, sigmas, 3, cfg.Seed, cfg.workerCount())
+	pts := cluster.SigmaSweep(n, 6, sigmas, 3, cfg.Seed, cfg.Workers)
 	size := textplot.Series{Name: "mean cluster size"}
 	mmo := textplot.Series{Name: "mean max offset"}
 	for _, pt := range pts {

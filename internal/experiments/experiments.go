@@ -131,6 +131,7 @@ var registry = map[string]registration{
 	"ties":       {"Extension: quantized scores — convergence and stratification under ties", Ties},
 	"combo":      {"Extension: combined bandwidth + latency overlays (conclusion's proposal)", Combo},
 	"gossip":     {"Extension: gossip-based rank discovery feeding the matching", Gossip},
+	"churn":      {"Extension: dynamic swarm membership — flash crowd, Poisson steady state, mass-departure healing", Churn},
 }
 
 // IDs lists all experiment identifiers in stable order.

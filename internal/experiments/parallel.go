@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"runtime"
-
 	"stratmatch/internal/par"
 )
 
@@ -19,12 +17,7 @@ import (
 // count and any scheduling — the determinism test in experiments_test.go
 // enforces it for every parallel experiment.
 func (c Config) forEach(n int, fn func(i int) error) error {
-	return par.ForEachErr(n, c.workerCount(), fn)
-}
-
-func (c Config) workerCount() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return runtime.GOMAXPROCS(0)
+	// par.Workers applies the 0-means-GOMAXPROCS default; Config.Workers
+	// passes through unresolved so the policy lives in one place.
+	return par.ForEachErr(n, c.Workers, fn)
 }

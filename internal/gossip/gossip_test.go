@@ -164,3 +164,17 @@ func TestErrorScalesWithViewSize(t *testing.T) {
 		t.Fatal("NaN error")
 	}
 }
+
+// TestRoundSteadyStateAllocs pins the buffer reuse: after construction,
+// gossip rounds run out of network-owned scratch and node-owned view
+// backing — zero allocations per round.
+func TestRoundSteadyStateAllocs(t *testing.T) {
+	nw, err := New(scoresDesc(200), 8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Round() // warm any lazily grown scratch
+	if allocs := testing.AllocsPerRun(50, nw.Round); allocs != 0 {
+		t.Fatalf("gossip Round allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -1,8 +1,6 @@
 package graph
 
 import (
-	"math"
-
 	"stratmatch/internal/rng"
 )
 
@@ -11,12 +9,15 @@ import (
 // mutable Adjacency so churn experiments can detach and re-attach peers.
 //
 // For sparse graphs (p well below 1) the sampler uses geometric edge
-// skipping (Batagelj–Brandes), which runs in O(n + m) instead of O(n²).
-// Sampling is two-pass: edges are drawn into a flat buffer first, then the
-// exact-size adjacency lists are carved out of one backing slab and
-// tail-filled in sorted order — Monte-Carlo loops that draw thousands of
-// graphs spend their time in the sampler, and incremental sorted inserts
-// with slice regrowth used to dominate that cost.
+// skipping (Batagelj–Brandes), which runs in O(n + m) instead of O(n²);
+// the geometric gaps come from a guide-table inversion sampler (see
+// geoSkip) instead of the textbook log formula, removing the per-edge
+// math.Log1p call that used to dominate Monte-Carlo profiles. Sampling is
+// two-pass: edges are drawn into a flat buffer first, then the exact-size
+// adjacency lists are carved out of one backing slab and tail-filled in
+// sorted order — Monte-Carlo loops that draw thousands of graphs spend
+// their time in the sampler, and incremental sorted inserts with slice
+// regrowth used to dominate that cost.
 func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
 	g := NewAdjacency(n)
 	switch {
@@ -32,16 +33,12 @@ func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
 	}
 	// Walk the strictly-lower-triangular adjacency matrix row by row,
 	// skipping ahead by geometrically distributed gaps.
-	logq := math.Log1p(-p)
+	gs := geoSkipFor(p)
 	edges := make([]uint64, 0, int(p*float64(n)*float64(n-1)/2)+16)
 	deg := make([]int32, n)
 	v, w := 1, -1
 	for v < n {
-		u := r.Float64()
-		if u >= 1 {
-			u = math.Nextafter(1, 0)
-		}
-		w += 1 + int(math.Log1p(-u)/logq)
+		w += 1 + gs.next(r)
 		for w >= v && v < n {
 			w -= v
 			v++

@@ -1,7 +1,9 @@
 #!/bin/sh
-# Run the per-experiment benchmarks once each and record the results as
-# BENCH_results.json at the repository root, so the performance trajectory
-# is tracked across PRs. Pass extra `go test` flags through, e.g.:
+# Run the per-experiment benchmarks once each (every paper figure/table
+# plus the extensions, including the churn scenario catalog behind
+# BenchmarkChurn) and record the results as BENCH_results.json at the
+# repository root, so the performance trajectory is tracked across PRs.
+# Pass extra `go test` flags through, e.g.:
 #
 #   scripts/bench.sh                 # default: -benchtime=1x -benchmem
 #   scripts/bench.sh -benchtime=5x

@@ -230,3 +230,53 @@ func TestSwarmFacade(t *testing.T) {
 	sw.Depart(0) // post-completion departure is harmless
 	sw.Run(5)
 }
+
+func TestSwarmDynamicMembershipFacade(t *testing.T) {
+	sw, err := NewSwarm(SwarmOptions{
+		Leechers: 15, Seeds: 1, Pieces: 8, PostFlashCrowd: true, NeighborCount: 6, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Run(20)
+	id := sw.Join(900, false)
+	if id != 16 {
+		t.Fatalf("joiner id %d, want 16", id)
+	}
+	if sw.Present() != 17 {
+		t.Fatalf("present %d after join", sw.Present())
+	}
+	sw.Depart(2)
+	if sw.Present() != 16 {
+		t.Fatalf("present %d after depart", sw.Present())
+	}
+	sw.Announce(id) // harmless re-announce
+	if !sw.RunUntilDone(50000) {
+		t.Fatal("swarm did not finish with dynamic membership")
+	}
+	if sw.PresentSeeds() != sw.Present() {
+		t.Fatal("finished swarm should be all seeds")
+	}
+}
+
+func TestScenarioFacade(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) < 3 {
+		t.Fatalf("scenario catalog too small: %v", names)
+	}
+	sc, err := NewScenario("poisson", 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 || res.TotalJoined <= sc.Opt.Leechers {
+		t.Fatalf("scenario produced no churn: %d samples, %d joined",
+			len(res.Series), res.TotalJoined)
+	}
+	if _, err := NewScenario("nope", 0, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

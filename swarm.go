@@ -36,11 +36,67 @@ func (sw *Swarm) Run(rounds int) { sw.s.Run(rounds) }
 // reporting whether the swarm finished.
 func (sw *Swarm) RunUntilDone(maxRounds int) bool { return sw.s.RunUntilDone(maxRounds) }
 
-// Depart makes a peer leave the swarm (failure injection).
+// Join adds a peer mid-simulation: it registers with the tracker and
+// receives a neighbor handout. Seeds join with the full file; leechers join
+// empty. The new peer's id is returned.
+func (sw *Swarm) Join(capacityKbps float64, asSeed bool) int {
+	return sw.s.Join(capacityKbps, asSeed)
+}
+
+// Depart makes a peer leave the swarm: its connections are unwired and its
+// slot is recycled; its statistics remain in the metrics.
 func (sw *Swarm) Depart(id int) { sw.s.Depart(id) }
+
+// Announce lets a peer re-announce to the tracker for fresh neighbors (the
+// handout tops its connection count up to SwarmOptions.NeighborCount).
+func (sw *Swarm) Announce(id int) int { return sw.s.Announce(id) }
+
+// Present returns the current population; PresentSeeds counts complete
+// peers (initial seeds plus leechers promoted on completion).
+func (sw *Swarm) Present() int { return sw.s.Present() }
+
+// PresentSeeds returns the present peers holding the complete file.
+func (sw *Swarm) PresentSeeds() int { return sw.s.PresentSeeds() }
 
 // Round returns the current round number.
 func (sw *Swarm) Round() int { return sw.s.Round() }
 
 // Metrics computes the current snapshot.
 func (sw *Swarm) Metrics() SwarmMetrics { return sw.s.Snapshot() }
+
+// Dynamic-membership scenarios: composable arrival processes, lifecycle
+// departures and scheduled shocks, run by a deterministic scenario driver.
+// See NewScenario's catalog for ready-made configurations.
+type (
+	// Scenario composes a swarm with churn processes into a named,
+	// reproducible experiment.
+	Scenario = btsim.Scenario
+	// ScenarioResult holds a scenario's time series and closing metrics.
+	ScenarioResult = btsim.ScenarioResult
+	// ScenarioPoint is one sample of a scenario time series.
+	ScenarioPoint = btsim.SeriesPoint
+	// Arrivals is a pluggable peer-arrival process.
+	Arrivals = btsim.Arrivals
+	// PoissonArrivals arrive at a constant expected rate per round.
+	PoissonArrivals = btsim.PoissonArrivals
+	// BurstArrivals model a flash crowd over a fixed window.
+	BurstArrivals = btsim.BurstArrivals
+	// TraceArrivals replay a recorded per-round arrival schedule.
+	TraceArrivals = btsim.TraceArrivals
+	// CombinedArrivals sum several arrival processes.
+	CombinedArrivals = btsim.CombinedArrivals
+	// Departures are per-round lifecycle rules (abandonment, seed linger).
+	Departures = btsim.Departures
+	// Event is a scheduled one-shot membership shock.
+	Event = btsim.Event
+)
+
+// ScenarioNames lists the built-in churn scenario catalog.
+func ScenarioNames() []string { return btsim.ScenarioNames() }
+
+// NewScenario builds a catalog scenario ("flashcrowd", "poisson",
+// "massdepart") at the given seed and population scale; run it with
+// Scenario.Run.
+func NewScenario(name string, seed uint64, scale float64) (Scenario, error) {
+	return btsim.NamedScenario(name, seed, scale)
+}
