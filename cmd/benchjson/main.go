@@ -5,12 +5,18 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=. -benchtime=1x -benchmem | benchjson > BENCH_results.json
+//	go test -run='^$' -bench=. -benchtime=3x -benchmem | benchjson > BENCH_results.json
+//
+// With --compare old.json it additionally diffs the fresh results against a
+// previous document and prints a report to stderr flagging >20% ns/op or
+// B/op regressions. The report is informational: the exit code stays 0, so
+// CI can surface regressions without blocking merges on benchmark noise.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -35,13 +41,16 @@ type Document struct {
 }
 
 func main() {
-	if err := run(); err != nil {
+	comparePath := flag.String("compare", "",
+		"previous BENCH_results.json to diff against; regressions >20% in ns/op or B/op are reported to stderr (never changes the exit code)")
+	flag.Parse()
+	if err := run(*comparePath); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(comparePath string) error {
 	doc := Document{Context: map[string]string{}, Benchmarks: []Benchmark{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -66,7 +75,84 @@ func run() error {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	if comparePath != "" {
+		if err := compare(doc, comparePath); err != nil {
+			// A broken baseline must not fail the run: the comparison is a
+			// non-blocking report by contract.
+			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
+		}
+	}
+	return nil
+}
+
+// regressionThreshold is the relative growth in ns/op or B/op past which a
+// benchmark is flagged.
+const regressionThreshold = 0.20
+
+// compare diffs doc against the baseline document at path and writes a
+// regression report to stderr. It never alters the process exit code.
+func compare(doc Document, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var old Document
+	if err := json.Unmarshal(raw, &old); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	baseline := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		baseline[b.Name] = b
+	}
+	regressions := 0
+	fmt.Fprintf(os.Stderr, "benchjson: comparing %d benchmarks against %s (flagging >%.0f%% ns/op or B/op growth)\n",
+		len(doc.Benchmarks), path, regressionThreshold*100)
+	seen := make(map[string]bool, len(doc.Benchmarks))
+	for _, b := range doc.Benchmarks {
+		seen[b.Name] = true
+		prev, ok := baseline[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "  NEW        %-28s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			continue
+		}
+		flagged := false
+		if prev.NsPerOp > 0 && b.NsPerOp > prev.NsPerOp*(1+regressionThreshold) {
+			fmt.Fprintf(os.Stderr, "  REGRESSION %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+				b.Name, prev.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/prev.NsPerOp-1))
+			regressions++
+			flagged = true
+		}
+		if prev.BytesPerOp != nil && b.BytesPerOp != nil && *prev.BytesPerOp > 0 &&
+			float64(*b.BytesPerOp) > float64(*prev.BytesPerOp)*(1+regressionThreshold) {
+			fmt.Fprintf(os.Stderr, "  REGRESSION %-28s B/op  %12d -> %12d (%+.1f%%)\n",
+				b.Name, *prev.BytesPerOp, *b.BytesPerOp,
+				100*(float64(*b.BytesPerOp)/float64(*prev.BytesPerOp)-1))
+			regressions++
+			flagged = true
+		}
+		if !flagged && prev.NsPerOp > 0 && b.NsPerOp < prev.NsPerOp*(1-regressionThreshold) {
+			fmt.Fprintf(os.Stderr, "  improved   %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+				b.Name, prev.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/prev.NsPerOp-1))
+		}
+	}
+	// Baseline entries absent from the fresh run are the failure the report
+	// exists to surface (renames, deletions, a suite that died mid-run) —
+	// count them as regressions so they cannot hide behind a clean summary.
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			fmt.Fprintf(os.Stderr, "  MISSING    %-28s present in baseline, absent from this run\n", b.Name)
+			regressions++
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no regressions past the threshold")
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past the threshold (report only; not failing the build)\n", regressions)
+	}
+	return nil
 }
 
 // parseBenchLine parses e.g.

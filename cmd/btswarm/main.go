@@ -62,6 +62,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "goroutines for replica fan-out (0 = all cores)")
 		scenario  = fs.String("scenario", "", "run a named churn scenario instead of a fixed swarm (see -list-scenarios)")
 		scScale   = fs.Float64("scenario-scale", 1, "population/length multiplier for -scenario")
+		scSample  = fs.Int("sample-every", 0, "scenario time-series sampling period in rounds (0 = catalog default; 1 = every round, sampling is allocation-free)")
 		listSc    = fs.Bool("list-scenarios", false, "list the churn scenario catalog and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +76,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *scenario != "" {
-		return runScenario(*scenario, *seed, *scScale)
+		return runScenario(*scenario, *seed, *scScale, *scSample)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas %d", *replicas)
@@ -184,10 +185,13 @@ func run(args []string) error {
 
 // runScenario executes one catalog scenario and prints its time series and
 // closing report.
-func runScenario(name string, seed uint64, scale float64) error {
+func runScenario(name string, seed uint64, scale float64, sampleEvery int) error {
 	sc, err := btsim.NamedScenario(name, seed, scale)
 	if err != nil {
 		return err
+	}
+	if sampleEvery > 0 {
+		sc.SampleEvery = sampleEvery
 	}
 	res, err := sc.Run()
 	if err != nil {

@@ -1,6 +1,10 @@
 package analytic
 
-import "fmt"
+import (
+	"fmt"
+
+	"stratmatch/internal/par"
+)
 
 // BMatchingResult holds the output of the independent b0-matching recurrence
 // (Algorithm 3). Dc(i, j) denotes the probability that choice number c
@@ -37,6 +41,11 @@ type BMatchingOptions struct {
 	// PartnerValue, when non-nil, must have length N; the result then
 	// contains ExpectedValue[i] = Σ_c Σ_j Dc(i,j)·PartnerValue[j].
 	PartnerValue []float64
+	// Workers bounds the goroutines sharding the O(n²·b0) recurrence
+	// (0 = GOMAXPROCS). The block-wavefront split performs the same
+	// floating-point operations in the same per-cell order as the serial
+	// evaluation, so the result is byte-identical for any worker count.
+	Workers int
 }
 
 // BMatching evaluates Algorithm 3 — the independent b0-matching recurrence.
@@ -55,6 +64,14 @@ type BMatchingOptions struct {
 // Since X_i does not depend on cj, each pair costs O(b0):
 // Dci(i,j) = p·X_i(ci)·ΣX_j and Dcj(j,i) = p·X_j(cj)·ΣX_i.
 // Total cost is O(n²·b0) time and O(n·b0) memory.
+//
+// The pair (i, j) depends only on the pairs (i, j−1) (through row i's
+// cumulative) and (i−1, j) (through column j's cumulative) — a classic
+// wavefront. The recurrence is therefore sharded over Workers goroutines by
+// tiling the upper triangle into row×column blocks and running the block
+// anti-diagonals in parallel (see bmatchingTiled); every memory cell still
+// receives the same additions in the same order, so the parallel evaluation
+// is byte-identical to the serial one.
 func BMatching(opt BMatchingOptions) (*BMatchingResult, error) {
 	n, p, b0 := opt.N, opt.P, opt.B0
 	if n < 0 {
@@ -94,6 +111,23 @@ func BMatching(opt BMatchingOptions) (*BMatchingResult, error) {
 		res.ExpectedValue = make([]float64, n)
 	}
 
+	// The tiled evaluation needs at least two blocks per anti-diagonal to
+	// overlap work; below that (or on one worker) the serial scan is the
+	// same computation without the barrier overhead.
+	if workers := par.Workers(n, opt.Workers); workers > 1 && n >= 2*bmatchingMinBlock {
+		bmatchingTiled(res, opt, workers)
+	} else {
+		bmatchingSerial(res, opt)
+	}
+	for i := 0; i < n; i++ {
+		res.MatchProbAny[i] = res.SlotMatchProb[0][i]
+	}
+	return res, nil
+}
+
+// bmatchingSerial is the reference row-major evaluation.
+func bmatchingSerial(res *BMatchingResult, opt BMatchingOptions) {
+	n, p, b0 := opt.N, opt.P, opt.B0
 	// colCum[c][j] = Σ_{k<i} D_{c+1}(j, k) for the current outer row i.
 	colCum := make([][]float64, b0)
 	for c := range colCum {
@@ -147,8 +181,121 @@ func BMatching(opt BMatchingOptions) (*BMatchingResult, error) {
 			}
 		}
 	}
-	for i := 0; i < n; i++ {
-		res.MatchProbAny[i] = res.SlotMatchProb[0][i]
+}
+
+// bmatchingMinBlock is the smallest tile edge worth a barrier: a tile costs
+// O(block²·b0) floating-point work against one wave synchronization.
+const bmatchingMinBlock = 64
+
+// bmatchingTiled shards the recurrence into block×block tiles of the upper
+// triangle and runs each block anti-diagonal ("wave") in parallel:
+// tile (I, J) — rows of block I against columns of block J — depends only on
+// tiles (I, J−1) and (I−1, J), both on earlier waves, so all tiles of one
+// wave are independent. Unlike the serial scan, row cumulatives persist per
+// row (rowCum[c][i]) because a row's tiles are visited across waves; the
+// diagonal tile seeds them from colCum exactly where the serial scan would.
+//
+// Determinism: within a wave, tiles touch disjoint blocks — a same-wave
+// conflict between tile (I1, J1)'s rows and tile (I2, J2)'s columns would
+// need I1 == J2, which forces J1 == I2 > J2 and makes (I2, J2) a
+// lower-triangle tile that never exists. Each cell of colCum, rowCum,
+// SlotMatchProb and ExpectedValue therefore receives exactly the additions
+// of the serial scan, in the same order, for every worker count.
+func bmatchingTiled(res *BMatchingResult, opt BMatchingOptions, workers int) {
+	n, p, b0 := opt.N, opt.P, opt.B0
+	colCum := make([][]float64, b0)
+	rowCum := make([][]float64, b0)
+	for c := 0; c < b0; c++ {
+		colCum[c] = make([]float64, n)
+		rowCum[c] = make([]float64, n)
 	}
-	return res, nil
+	// ~4 blocks per worker keeps every wave wide enough to feed the pool
+	// while the tiles stay coarse; the floor bounds the barrier count.
+	block := (n + 4*workers - 1) / (4 * workers)
+	if block < bmatchingMinBlock {
+		block = bmatchingMinBlock
+	}
+	nb := (n + block - 1) / block
+
+	// Per-worker X-factor scratch.
+	xis := make([][]float64, workers)
+	xjs := make([][]float64, workers)
+	for w := 0; w < workers; w++ {
+		xis[w] = make([]float64, b0)
+		xjs[w] = make([]float64, b0)
+	}
+
+	for wave := 0; wave <= 2*(nb-1); wave++ {
+		lo := 0
+		if wave >= nb {
+			lo = wave - nb + 1
+		}
+		hi := wave / 2 // inclusive; J = wave−I ≥ I
+		if hi < lo {
+			continue
+		}
+		par.ForEachWorker(hi-lo+1, workers, func(w, t int) {
+			I := lo + t
+			J := wave - I
+			r0, r1 := I*block, (I+1)*block
+			if r1 > n {
+				r1 = n
+			}
+			c1 := (J + 1) * block
+			if c1 > n {
+				c1 = n
+			}
+			xi, xj := xis[w], xjs[w]
+			for i := r0; i < r1; i++ {
+				jStart := J * block
+				if I == J {
+					// Row i starts here: seed its cumulative from column
+					// i's state, which is final — every (k, i) pair with
+					// k < i lives on an earlier wave or earlier in this
+					// tile.
+					for c := 0; c < b0; c++ {
+						rowCum[c][i] = colCum[c][i]
+					}
+					jStart = i + 1
+				}
+				rowOut := res.Rows[i]
+				for j := jStart; j < c1; j++ {
+					var sumXi, sumXj float64
+					for c := 0; c < b0; c++ {
+						prev := 1.0
+						if c > 0 {
+							prev = rowCum[c-1][i]
+						}
+						xi[c] = prev - rowCum[c][i]
+						sumXi += xi[c]
+						prev = 1.0
+						if c > 0 {
+							prev = colCum[c-1][j]
+						}
+						xj[c] = prev - colCum[c][j]
+						sumXj += xj[c]
+					}
+					pairProb := p * sumXi * sumXj
+					for c := 0; c < b0; c++ {
+						dci := p * xi[c] * sumXj
+						dcj := p * xj[c] * sumXi
+						rowCum[c][i] += dci
+						colCum[c][j] += dcj
+						res.SlotMatchProb[c][i] += dci
+						res.SlotMatchProb[c][j] += dcj
+						if rowOut != nil {
+							rowOut[c][j] = dci
+						}
+						if out := res.Rows[j]; out != nil {
+							out[c][i] = dcj
+						}
+					}
+					if res.ExpectedValue != nil {
+						res.ExpectedValue[i] += pairProb * opt.PartnerValue[j]
+						res.ExpectedValue[j] += pairProb * opt.PartnerValue[i]
+					}
+				}
+			}
+		})
+	}
 }

@@ -1,0 +1,60 @@
+package analytic
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestBMatchingParallelMatchesSerial pins Algorithm 3's block-wavefront
+// determinism contract: every memory cell receives the serial scan's
+// additions in the serial order, so the result must be bit-identical — not
+// merely close — for any worker count, tracked rows and partner values
+// included.
+func TestBMatchingParallelMatchesSerial(t *testing.T) {
+	const n = 411 // odd, > 2 blocks, with a ragged final tile
+	value := make([]float64, n)
+	for i := range value {
+		value[i] = float64(n - i)
+	}
+	base := BMatchingOptions{
+		N: n, P: 0.03, B0: 3,
+		TrackRows:    []int{0, 1, n / 2, n - 1},
+		PartnerValue: value,
+	}
+	serialOpt := base
+	serialOpt.Workers = 1
+	serial, err := BMatching(serialOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 5, 8, 16} {
+		opt := base
+		opt.Workers = workers
+		got, err := BMatching(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("BMatching with %d workers diverged from the serial evaluation", workers)
+		}
+	}
+}
+
+// TestBMatchingParallelSmallPopulation covers the serial fallback boundary:
+// populations below two blocks take the serial path regardless of the
+// worker count and must agree with an explicitly serial run.
+func TestBMatchingParallelSmallPopulation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 127} {
+		a, err := BMatching(BMatchingOptions{N: n, P: 0.2, B0: 2, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := BMatching(BMatchingOptions{N: n, P: 0.2, B0: 2, Workers: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("n=%d: worker counts disagree", n)
+		}
+	}
+}

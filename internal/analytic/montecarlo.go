@@ -60,9 +60,17 @@ func MonteCarloChoicesWorkers(n int, p float64, b0, peer, samples int, seed uint
 	}
 
 	workers = par.Workers(samples, workers)
+	// Each worker owns a graph arena and a matching arena: across its share
+	// of the samples the G(n, p) edge buffers and the Config slab are
+	// recycled, so a draw costs zero steady-state allocations. The sampled
+	// values are untouched — every sample still derives from its own
+	// sub-stream — so the counts are byte-identical to fresh-allocation
+	// sampling at any worker count.
 	type partial struct {
 		counts  [][]int
 		matched []int
+		garena  graph.Arena
+		carena  core.Arena
 	}
 	partials := make([]partial, workers)
 	for w := range partials {
@@ -76,8 +84,8 @@ func MonteCarloChoicesWorkers(n int, p float64, b0, peer, samples int, seed uint
 	par.ForEachWorker(samples, workers, func(w, s int) {
 		pt := &partials[w]
 		r := rng.New(seed + uint64(s)*0x9e3779b97f4a7c15)
-		g := graph.ErdosRenyi(n, p, r)
-		cfg := core.StableUniform(g, b0)
+		g := pt.garena.ErdosRenyi(n, p, r)
+		cfg := pt.carena.StableUniform(g, b0)
 		for c, mate := range cfg.Mates(peer) {
 			pt.counts[c][mate]++
 			pt.matched[c]++

@@ -40,6 +40,10 @@ type Scenario struct {
 	// re-announces (0: every 10 rounds, matching the choke interval).
 	ReannounceInterval int
 	// SampleEvery is the time-series sampling period (0: every 10 rounds).
+	// Sampling streams off counters the swarm maintains incrementally and
+	// reuses run-level scratch, so SampleEvery: 1 — one SeriesPoint per
+	// round — costs O(1) amortized allocations per round (the series
+	// append) and is the intended setting for dense time-series studies.
 	SampleEvery int
 }
 
@@ -136,7 +140,8 @@ func (sc Scenario) Run() (*ScenarioResult, error) {
 	}
 
 	res := &ScenarioResult{Name: sc.Name}
-	classes := newClassBounds(s)
+	res.Series = make([]SeriesPoint, 0, (sc.Rounds-1)/sampleEvery+2)
+	sampler := seriesSampler{classes: newClassBounds(s)}
 	var scratch []int32
 	for round := 0; round < sc.Rounds; round++ {
 		if sc.Arrivals != nil {
@@ -157,7 +162,7 @@ func (sc Scenario) Run() (*ScenarioResult, error) {
 		s.applyDepartures(sc.Departures, churnR, &scratch)
 		s.ReannounceUnderConnected(reannounce)
 		if round%sampleEvery == 0 || round == sc.Rounds-1 {
-			res.Series = append(res.Series, s.sample(classes))
+			res.Series = append(res.Series, sampler.sample(s))
 		}
 	}
 	res.Final = s.Snapshot()
@@ -201,45 +206,51 @@ func (c classBounds) class(capacity float64) int {
 	}
 }
 
-// sample computes one SeriesPoint from the live swarm state.
-func (s *Swarm) sample(classes classBounds) SeriesPoint {
+// seriesSampler is the scenario runner's streaming metrics accumulator: it
+// turns the swarm's incrementally maintained counters (population flows,
+// completed leechers, live degree sum) plus one allocation-free pass over
+// the present roster (share-ratio class sums, streaming rank correlation)
+// into a SeriesPoint. Snapshot builds the same statistics by rescanning and
+// materializing per-peer rows; the sampler exists so scenarios can take a
+// point every round without paying Snapshot-scale allocation.
+type seriesSampler struct {
+	classes classBounds
+	corr    stats.PearsonAcc
+}
+
+// sample computes one SeriesPoint from the live swarm state. It allocates
+// nothing.
+func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
 	pt := SeriesPoint{
-		Round:    s.round,
-		Present:  s.present,
-		Leechers: s.present - s.presentDone,
-		Seeds:    s.presentDone,
-		Joined:   len(s.peers),
-		Departed: s.totalDeparted,
-	}
-	var deg int64
-	for _, id := range s.trk.present {
-		deg += int64(s.deg[s.peers[id].slot])
+		Round:     s.round,
+		Present:   s.present,
+		Leechers:  s.present - s.presentDone,
+		Seeds:     s.presentDone,
+		Joined:    len(s.peers),
+		Departed:  s.totalDeparted,
+		Completed: s.completedLeechers,
 	}
 	if s.present > 0 {
-		pt.MeanDegree = float64(deg) / float64(s.present)
+		pt.MeanDegree = float64(s.liveDegSum) / float64(s.present)
 	}
 
-	var own, partner []float64
+	sp.corr.Reset()
 	var ratioSum, ratioN [3]float64
-	for i := range s.peers {
-		p := &s.peers[i]
-		if !p.isSeed && p.done {
-			pt.Completed++
-		}
-		if p.departed {
+	for _, id := range s.trk.present {
+		p := &s.peers[id]
+		if p.isSeed {
 			continue
 		}
-		if p.tftPartnerCount > 0 && !p.isSeed {
-			own = append(own, float64(s.rank[p.id]))
-			partner = append(partner, p.tftPartnerRankSum/float64(p.tftPartnerCount))
+		if p.tftPartnerCount > 0 {
+			sp.corr.Add(float64(s.rank[p.id]), p.tftPartnerRankSum/float64(p.tftPartnerCount))
 		}
-		if p.totalUp > 0 && !p.isSeed {
-			cl := classes.class(p.capacity)
+		if p.totalUp > 0 {
+			cl := sp.classes.class(p.capacity)
 			ratioSum[cl] += p.totalDown / p.totalUp
 			ratioN[cl]++
 		}
 	}
-	pt.StratCorr = stats.Pearson(own, partner)
+	pt.StratCorr = sp.corr.Corr()
 	for cl := range pt.ShareRatioByClass {
 		if ratioN[cl] > 0 {
 			pt.ShareRatioByClass[cl] = ratioSum[cl] / ratioN[cl]

@@ -74,6 +74,7 @@ func (s *Swarm) Depart(id int) {
 		s.availSub(q.slot, p.have)
 		s.removeEdgeHalf(q, er)
 		s.deg[sl]--
+		s.liveDegSum--
 	}
 	// Discard partial piece progress and zero the slot's own availability
 	// row so the next occupant starts clean — a direct clear, cheaper than
@@ -374,6 +375,9 @@ func (s *Swarm) completePiece(v *peer, piece int) {
 		v.done = true
 		v.doneRound = s.round + 1
 		s.presentDone++
+		if !v.isSeed {
+			s.completedLeechers++
+		}
 		for e := base; e < end; e++ {
 			s.inflight[e] = -1
 		}

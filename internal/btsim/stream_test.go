@@ -1,0 +1,138 @@
+package btsim
+
+import (
+	"math"
+	"testing"
+
+	"stratmatch/internal/bandwidth"
+	"stratmatch/internal/rng"
+	"stratmatch/internal/stats"
+)
+
+// recountCompletedLeechers recomputes the streaming counter from the roster.
+func recountCompletedLeechers(s *Swarm) int {
+	n := 0
+	for i := range s.peers {
+		if !s.peers[i].isSeed && s.peers[i].done {
+			n++
+		}
+	}
+	return n
+}
+
+// recountLiveDegSum recomputes the streaming degree sum from the present set.
+func recountLiveDegSum(s *Swarm) int64 {
+	var deg int64
+	for _, id := range s.trk.present {
+		deg += int64(s.deg[s.peers[id].slot])
+	}
+	return deg
+}
+
+// TestStreamingCountersMatchRecount drives a swarm through joins, steps and
+// departures and checks the incrementally maintained metric counters against
+// full recounts at every stage — the invariant the zero-alloc scenario
+// sampler rests on.
+func TestStreamingCountersMatchRecount(t *testing.T) {
+	s, err := New(Options{
+		Leechers: 30, Seeds: 2, Pieces: 16, PieceKbit: 256,
+		NeighborCount: 8, MaxPeers: 90, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	check := func(round int) {
+		t.Helper()
+		if got, want := s.completedLeechers, recountCompletedLeechers(s); got != want {
+			t.Fatalf("round %d: completedLeechers %d, recount %d", round, got, want)
+		}
+		if got, want := s.liveDegSum, recountLiveDegSum(s); got != want {
+			t.Fatalf("round %d: liveDegSum %d, recount %d", round, got, want)
+		}
+	}
+	check(0)
+	for round := 0; round < 400; round++ {
+		if r.Bool(0.1) {
+			s.Join(100+900*r.Float64(), r.Bool(0.1))
+		}
+		s.Step()
+		if r.Bool(0.05) && s.Present() > 4 {
+			// Depart a random present peer.
+			id := int(s.trk.present[r.Intn(len(s.trk.present))])
+			s.Depart(id)
+		}
+		s.ReannounceUnderConnected(10)
+		if round%25 == 0 {
+			check(round)
+		}
+	}
+	check(400)
+}
+
+// TestSeriesSamplerMatchesSnapshot cross-validates the streaming sampler
+// against the allocation-heavy Snapshot on the same state: population
+// counts, completions, mean degree and the stratification correlation must
+// agree (the sampler feeds Pearson the same pairs, though in present-set
+// order, so correlations match to float tolerance).
+func TestSeriesSamplerMatchesSnapshot(t *testing.T) {
+	sc, err := NamedScenario("massdepart", 7, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SampleEvery = 1
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sc.Rounds; len(res.Series) != want {
+		t.Fatalf("SampleEvery=1: %d samples for %d rounds", len(res.Series), want)
+	}
+	last := res.Series[len(res.Series)-1]
+	m := res.Final
+	if last.Present != m.Present || last.Seeds != m.PresentSeeds {
+		t.Fatalf("population mismatch: series %+v, snapshot present %d seeds %d",
+			last, m.Present, m.PresentSeeds)
+	}
+	if last.Completed != m.CompletedLeechers {
+		t.Fatalf("completed: series %d, snapshot %d", last.Completed, m.CompletedLeechers)
+	}
+	// Recompute the final correlation Snapshot-style.
+	var own, partner []float64
+	for _, pm := range m.Peers {
+		if !pm.IsSeed && !pm.Departed && !math.IsNaN(pm.MeanTFTPartnerRank) {
+			own = append(own, float64(pm.Rank))
+			partner = append(partner, pm.MeanTFTPartnerRank)
+		}
+	}
+	want := stats.Pearson(own, partner)
+	if math.IsNaN(want) != math.IsNaN(last.StratCorr) ||
+		(!math.IsNaN(want) && math.Abs(want-last.StratCorr) > 1e-9) {
+		t.Fatalf("strat correlation: series %v, snapshot-style %v", last.StratCorr, want)
+	}
+}
+
+// TestScenarioStepSampleZeroAlloc pins the tentpole guarantee: stepping a
+// churning swarm AND taking a time-series sample every round allocates
+// nothing once the swarm is warm (the scenario runner's series append is the
+// only amortized-O(1) cost on top).
+func TestScenarioStepSampleZeroAlloc(t *testing.T) {
+	caps := bandwidth.RankBandwidths(bandwidth.Saroiu(), 60)
+	s, err := New(Options{
+		Leechers: 58, Seeds: 2, Pieces: 32, PieceKbit: 512,
+		PostFlashCrowd: true, NeighborCount: 10, UploadKbps: caps, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60)
+	sampler := seriesSampler{classes: newClassBounds(s)}
+	var sink SeriesPoint
+	if allocs := testing.AllocsPerRun(200, func() {
+		s.Step()
+		sink = sampler.sample(s)
+	}); allocs != 0 {
+		t.Fatalf("step+sample allocates %.2f objects per round, want 0", allocs)
+	}
+	_ = sink
+}

@@ -222,6 +222,13 @@ type Swarm struct {
 	presentDone   int
 	totalDeparted int
 
+	// Streaming metric counters, maintained incrementally so scenario
+	// time-series sampling never rescans or allocates: completedLeechers
+	// counts leechers that ever finished the file (departed ones included);
+	// liveDegSum is Σ deg over present peers (two endpoints per edge).
+	completedLeechers int
+	liveDegSum        int64
+
 	trk tracker
 
 	// Scratch buffers (sized to the per-slot edge capacity / piece count)
@@ -289,6 +296,9 @@ func New(o Options) (*Swarm, error) {
 		}
 		if p.done {
 			s.presentDone++
+			if !p.isSeed {
+				s.completedLeechers++ // post-flash-crowd instant finisher
+			}
 		}
 	}
 	s.present = n
@@ -527,6 +537,7 @@ func (s *Swarm) addEdge(a, b *peer) {
 	s.availAdd(bsl, a.have)
 	s.deg[asl]++
 	s.deg[bsl]++
+	s.liveDegSum += 2
 }
 
 // removeEdgeHalf deletes edge er from q's block by swapping the block's
@@ -552,6 +563,7 @@ func (s *Swarm) removeEdgeHalf(q *peer, er int32) {
 		}
 	}
 	s.deg[qsl]--
+	s.liveDegSum--
 }
 
 // hasEdge reports whether peer a already has a connection to peer id b.

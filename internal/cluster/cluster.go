@@ -47,6 +47,11 @@ type Analyzer struct {
 	generation uint32
 	// budgets is scratch for AnalyzeNormal's per-peer slot samples.
 	budgets []int
+	// arena recycles the Config slab and solver scratch across the
+	// analyzer's stable-matching draws: AnalyzeNormal and AnalyzeConstant
+	// used to construct a fresh Config per call, the dominant allocation
+	// of the Table 1 / Figure 6 sweeps.
+	arena core.Arena
 }
 
 // grow resizes the scratch to n peers and resets the union-find.
@@ -191,22 +196,23 @@ func fillNormalBudgets(dst []int, mean, sigma float64, r *rng.RNG) {
 
 // AnalyzeNormal builds the stable configuration on the complete graph with
 // N(mean, sigma²) budgets and returns its cluster report. It is the unit of
-// work behind Table 1's right half and Figure 6; the budget scratch is
-// reused across calls.
+// work behind Table 1's right half and Figure 6; the budget scratch and the
+// configuration arena are reused across calls, so a draw costs zero
+// steady-state allocations.
 func (a *Analyzer) AnalyzeNormal(n int, mean, sigma float64, r *rng.RNG) Report {
 	if cap(a.budgets) < n {
 		a.budgets = make([]int, n)
 	}
 	a.budgets = a.budgets[:n]
 	fillNormalBudgets(a.budgets, mean, sigma, r)
-	return a.Analyze(core.StableComplete(a.budgets))
+	return a.Analyze(a.arena.StableComplete(a.budgets))
 }
 
 // AnalyzeConstant builds the stable configuration of constant b0-matching on
 // the complete graph of n peers and returns its cluster report (Table 1's
-// left half).
+// left half). Like AnalyzeNormal it draws into the analyzer-owned arena.
 func (a *Analyzer) AnalyzeConstant(n, b0 int) Report {
-	return a.Analyze(core.StableCompleteUniform(n, b0))
+	return a.Analyze(a.arena.StableCompleteUniform(n, b0))
 }
 
 // AnalyzeNormal is the one-shot form of Analyzer.AnalyzeNormal.

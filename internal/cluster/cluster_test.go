@@ -186,6 +186,52 @@ func TestAnalyzerSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestAnalyzeDrawSteadyStateAllocs pins the arena layer end to end: a
+// warmed-up Analyzer performs whole draws — budget sampling, stable
+// matching, cluster analysis — without allocating. This is the per-rep unit
+// of Table 1 and Figure 6.
+func TestAnalyzeDrawSteadyStateAllocs(t *testing.T) {
+	var a Analyzer
+	r := rng.New(4)
+	a.AnalyzeNormal(2000, 6, 0.2, r) // size scratch + arena (headroom absorbs total drift)
+	if allocs := testing.AllocsPerRun(50, func() { a.AnalyzeNormal(2000, 6, 0.2, r) }); allocs != 0 {
+		t.Fatalf("AnalyzeNormal allocates %.2f objects per draw at steady state, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { a.AnalyzeConstant(2000, 4) }); allocs != 0 {
+		t.Fatalf("AnalyzeConstant allocates %.2f objects per draw at steady state, want 0", allocs)
+	}
+}
+
+// TestTable1OrderIndependence pins the descending-budget scheduling trick:
+// every column derives its randomness from its budget alone, so the rows
+// must match fresh per-column computations in natural order.
+func TestTable1OrderIndependence(t *testing.T) {
+	bs := []int{2, 3, 4, 5}
+	const n, sigma, reps, seed = 600, 0.2, 2, uint64(21)
+	rows := Table1(n, bs, sigma, reps, seed, 1)
+	for i, b := range bs {
+		var a Analyzer
+		cst := a.AnalyzeConstant(n, b)
+		r := rng.New(seed + uint64(b)*0x51_7c_c1b7)
+		var sumSize, sumMMO float64
+		for rep := 0; rep < reps; rep++ {
+			rp := a.AnalyzeNormal(n, float64(b), sigma, r)
+			sumSize += rp.MeanClusterSize
+			sumMMO += rp.MMO
+		}
+		want := TableRow{
+			B:                 b,
+			ConstClusterSize:  cst.MeanClusterSize,
+			ConstMMO:          cst.MMO,
+			NormalClusterSize: sumSize / float64(reps),
+			NormalMMO:         sumMMO / float64(reps),
+		}
+		if rows[i] != want {
+			t.Fatalf("b=%d: Table1 row %+v, fresh computation %+v", b, rows[i], want)
+		}
+	}
+}
+
 func BenchmarkAnalyzeNormal(b *testing.B) {
 	r := rng.New(1)
 	var a Analyzer

@@ -67,7 +67,21 @@ type TableRow struct {
 func Table1(n int, bs []int, sigma float64, reps int, seed uint64, workers int) []TableRow {
 	rows := make([]TableRow, len(bs))
 	analyzers := make([]Analyzer, par.Workers(len(bs), workers))
-	par.ForEachWorker(len(bs), workers, func(worker, i int) {
+	// Process columns in descending budget order: each column's randomness
+	// derives from its b alone, so the rows are order-independent, and a
+	// worker's arena is sized by its first (largest) column instead of
+	// regrowing at every step of an ascending b = 2..7 scan.
+	order := make([]int, len(bs))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && bs[order[j-1]] < bs[order[j]]; j-- {
+			order[j-1], order[j] = order[j], order[j-1]
+		}
+	}
+	par.ForEachWorker(len(bs), workers, func(worker, t int) {
+		i := order[t]
 		b := bs[i]
 		a := &analyzers[worker]
 		cst := a.AnalyzeConstant(n, b)

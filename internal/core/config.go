@@ -31,6 +31,15 @@ import (
 type Config struct {
 	budget []int
 	mates  [][]int
+	// slab is the backing store the mate lists are carved from; it is
+	// retained so Reset can recycle it for a fresh population instead of
+	// allocating a new one per draw (the arena layer's core trick).
+	slab []int
+	// dropScratch / isoScratch back the slices Propose and Isolate return,
+	// so the initiative hot path of churn simulations does not allocate per
+	// event. Each is valid until the next call of its method.
+	dropScratch [2]int
+	isoScratch  []int
 }
 
 // NewConfig returns an empty configuration for peers with the given slot
@@ -41,6 +50,19 @@ type Config struct {
 // solvers and initiative dynamics construct configurations with a constant
 // number of allocations regardless of population size.
 func NewConfig(budget []int) *Config {
+	c := &Config{}
+	c.Reset(budget)
+	return c
+}
+
+// Reset re-initializes c to an empty configuration with the given budgets,
+// recycling the budget copy, the mate-list headers and the backing slab when
+// they are large enough. After Reset the configuration is indistinguishable
+// from NewConfig(budget): no prior mates, budgets copied, every mate list
+// empty with capacity b(p). Monte-Carlo loops that draw thousands of
+// configurations call Reset (through core.Arena) instead of NewConfig so a
+// draw costs zero steady-state allocations.
+func (c *Config) Reset(budget []int) {
 	total := 0
 	for i, b := range budget {
 		if b < 0 {
@@ -48,20 +70,28 @@ func NewConfig(budget []int) *Config {
 		}
 		total += b
 	}
-	c := &Config{
-		budget: append([]int(nil), budget...),
-		mates:  make([][]int, len(budget)),
+	n := len(budget)
+	if cap(c.budget) < n {
+		c.budget = make([]int, n)
 	}
-	slab := make([]int, total)
+	c.budget = c.budget[:n]
+	copy(c.budget, budget)
+	if cap(c.mates) < n {
+		c.mates = make([][]int, n)
+	}
+	c.mates = c.mates[:n]
+	if cap(c.slab) < total {
+		c.slab = make([]int, total)
+	}
+	c.slab = c.slab[:total]
 	off := 0
 	for i, b := range budget {
 		// Full-slice expression caps the segment at b entries, so an append
 		// past a raised budget reallocates privately instead of bleeding
 		// into the next peer's segment.
-		c.mates[i] = slab[off : off : off+b]
+		c.mates[i] = c.slab[off : off : off+b]
 		off += b
 	}
-	return c
 }
 
 // NewUniformConfig returns an empty configuration where every one of the n
@@ -173,9 +203,15 @@ func (c *Config) Unmatch(i, j int) bool {
 }
 
 // Isolate removes every collaboration of p (peer departure). The former
-// mates are returned so churn can wake them for new initiatives.
+// mates are returned so churn can wake them for new initiatives; the
+// returned slice lives in configuration-owned scratch and is valid until
+// the next Isolate call.
 func (c *Config) Isolate(p int) []int {
-	old := ints.Clone(c.mates[p])
+	if len(c.mates[p]) == 0 {
+		return nil
+	}
+	c.isoScratch = append(c.isoScratch[:0], c.mates[p]...)
+	old := c.isoScratch
 	for _, m := range old {
 		c.Unmatch(p, m)
 	}
@@ -197,29 +233,37 @@ func (c *Config) Wants(p, q int) bool {
 
 // Propose executes the blocking pair {i, j}: both sides drop their worst
 // mate if full, then match. It returns the peers that lost a mate in the
-// process (at most one per side). Calling Propose on a non-blocking pair
-// corrupts nothing but may degrade a peer, so callers check IsBlockingPair
-// first; Propose verifies only capacity invariants.
-func (c *Config) Propose(i, j int) (dropped []int) {
+// process (at most one per side); the returned slice lives in
+// configuration-owned scratch and is valid until the next Propose call.
+// Calling Propose on a non-blocking pair corrupts nothing but may degrade a
+// peer, so callers check IsBlockingPair first; Propose verifies only
+// capacity invariants.
+func (c *Config) Propose(i, j int) []int {
 	if c.Matched(i, j) || i == j {
 		return nil
 	}
+	nd := 0
 	if !c.Free(i) {
 		w := c.WorstMate(i)
 		c.Unmatch(i, w)
-		dropped = append(dropped, w)
+		c.dropScratch[nd] = w
+		nd++
 	}
 	if !c.Free(j) {
 		w := c.WorstMate(j)
 		c.Unmatch(j, w)
-		dropped = append(dropped, w)
+		c.dropScratch[nd] = w
+		nd++
 	}
 	if err := c.Match(i, j); err != nil {
 		// Both sides were just given a free slot (or had one); a failure
 		// here is a programming error, not a runtime condition.
 		panic(err)
 	}
-	return dropped
+	if nd == 0 {
+		return nil
+	}
+	return c.dropScratch[:nd]
 }
 
 // Clone returns a deep copy of the configuration.

@@ -91,7 +91,9 @@ func (s *RandomStrategy) Propose(c *Config, g graph.Graph, p int) int {
 
 // Initiative lets peer p take one initiative with strategy s on
 // configuration c. It returns whether the initiative was active (modified
-// the configuration) and the peers that lost a mate as a consequence.
+// the configuration) and the peers that lost a mate as a consequence (in
+// Propose's configuration-owned scratch — consume before the next
+// initiative).
 func Initiative(c *Config, g graph.Graph, p int, s Strategy) (active bool, dropped []int) {
 	q := s.Propose(c, g, p)
 	if q < 0 {

@@ -13,43 +13,22 @@ import "stratmatch/internal/graph"
 //
 // Complexity is O(Σ_p deg(p)) on top of the neighbor scans, i.e. linear in
 // the acceptance graph size.
+// Loops that solve many instances should hold a core.Arena and call its
+// Stable method instead: same algorithm, zero steady-state allocations.
 func Stable(g graph.Graph, b []int) *Config {
-	c := NewConfig(b)
-	avail := append([]int(nil), b...)
-	for i := 0; i < g.N(); i++ {
-		if avail[i] == 0 {
-			continue
-		}
-		for _, j := range g.Neighbors(i) {
-			// Neighbors are sorted by rank; only look at worse peers —
-			// connections to better peers were made on their turn.
-			if j < i {
-				continue
-			}
-			if avail[j] == 0 {
-				continue
-			}
-			if err := c.Match(i, j); err != nil {
-				panic(err) // invariant: both sides have free slots
-			}
-			avail[i]--
-			avail[j]--
-			if avail[i] == 0 {
-				break
-			}
-		}
-	}
+	var a Arena
+	c := a.Stable(g, b)
+	a.releaseScratch()
 	return c
 }
 
 // StableUniform computes the stable configuration where every peer has the
 // same budget b0 (constant b0-matching).
 func StableUniform(g graph.Graph, b0 int) *Config {
-	b := make([]int, g.N())
-	for i := range b {
-		b[i] = b0
-	}
-	return Stable(g, b)
+	var a Arena
+	c := a.StableUniform(g, b0)
+	a.releaseScratch()
+	return c
 }
 
 // IsBlockingPair reports whether {i, j} blocks configuration c on acceptance

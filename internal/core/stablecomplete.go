@@ -8,61 +8,21 @@ package core
 // path-compressed "next available" pointer array skips exhausted peers, so
 // populations of 10⁵+ peers (Table 1 and Figure 6 need large n for the
 // factorial cluster growth) are processed in milliseconds.
+// Loops that draw many configurations should hold a core.Arena and call its
+// StableComplete method instead: same algorithm, zero steady-state
+// allocations.
 func StableComplete(budgets []int) *Config {
-	n := len(budgets)
-	c := NewConfig(budgets)
-	avail := append([]int(nil), budgets...)
-
-	// nxt[j] points towards the smallest peer k ≥ j that may still have a
-	// free slot; n is the sentinel "no such peer".
-	nxt := make([]int, n+1)
-	for j := 0; j <= n; j++ {
-		nxt[j] = j
-	}
-	for j := 0; j < n; j++ {
-		if avail[j] == 0 {
-			nxt[j] = j + 1
-		}
-	}
-	find := func(x int) int {
-		root := x
-		for nxt[root] != root {
-			root = nxt[root]
-		}
-		for nxt[x] != root {
-			nxt[x], x = root, nxt[x]
-		}
-		return root
-	}
-
-	for i := 0; i < n; i++ {
-		if avail[i] == 0 {
-			continue
-		}
-		j := find(i + 1)
-		for avail[i] > 0 && j < n {
-			if err := c.Match(i, j); err != nil {
-				panic(err) // invariant: both sides have free slots
-			}
-			avail[i]--
-			avail[j]--
-			if avail[j] == 0 {
-				nxt[j] = j + 1
-			}
-			j = find(j + 1)
-		}
-		// Any slots i still holds can never be used: every later peer is
-		// exhausted, and earlier peers completed their turns.
-	}
+	var a Arena
+	c := a.StableComplete(budgets)
+	a.releaseScratch()
 	return c
 }
 
 // StableCompleteUniform is StableComplete with the same budget b0 for all n
 // peers (constant b0-matching: a chain of b0+1-cliques, Figure 4).
 func StableCompleteUniform(n, b0 int) *Config {
-	budgets := make([]int, n)
-	for i := range budgets {
-		budgets[i] = b0
-	}
-	return StableComplete(budgets)
+	var a Arena
+	c := a.StableCompleteUniform(n, b0)
+	a.releaseScratch()
+	return c
 }

@@ -28,3 +28,33 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("Simulator.Step allocates %.2f objects per initiative at steady state, want 0", allocs)
 	}
 }
+
+// TestChurnDisorderAllocs pins the Figure 3 hot path: a churn event
+// (removal, initiatives, disorder measurement against the arena-recomputed
+// instant stable configuration, re-attachment) must stay within a small
+// constant allocation budget — the instant-stable recompute itself is
+// allocation-free, and only occasional neighbor-list growth past the
+// sampler's headroom may allocate.
+func TestChurnDisorderAllocs(t *testing.T) {
+	r := rng.New(6)
+	g := graph.ErdosRenyiMeanDegree(300, 10, r.Split())
+	s, err := NewUniform(g, 1, core.BestMateStrategy{}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(40, 1)
+	attach := 10.0 / 299.0
+	victim := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		s.RemovePeer(victim)
+		for k := 0; k < 10; k++ {
+			s.Step()
+		}
+		_ = s.Disorder()
+		s.AddPeer(victim, attach)
+		victim = (victim + 7) % 300
+	})
+	if allocs > 3 {
+		t.Fatalf("churn event allocates %.2f objects, want <= 3 (stable recompute must reuse the arena)", allocs)
+	}
+}

@@ -45,6 +45,12 @@ type Simulator struct {
 
 	stable      *core.Config
 	stableDirty bool
+	// stableArena / stableBudgets recycle the instant-stable solve's
+	// storage: churn trajectories recompute the reference configuration at
+	// every sample, and a fresh Config per recompute used to dominate the
+	// Figure 3 allocation profile.
+	stableArena   core.Arena
+	stableBudgets []int
 
 	initiatives int64
 	active      int64
@@ -121,14 +127,19 @@ func (s *Simulator) Step() bool {
 
 // InstantStable returns the stable configuration of the current acceptance
 // graph (recomputed only after graph or budget mutations). Absent peers are
-// edgeless, hence unmatched in it.
+// edgeless, hence unmatched in it. The returned configuration lives in
+// simulator-owned recycled storage: it is valid until the recompute after
+// the next graph mutation (Clone it to keep it, as SetStable does).
 func (s *Simulator) InstantStable() *core.Config {
 	if s.stableDirty || s.stable == nil {
-		budgets := make([]int, s.N())
-		for i := range budgets {
-			budgets[i] = s.cfg.Budget(i)
+		if cap(s.stableBudgets) < s.N() {
+			s.stableBudgets = make([]int, s.N())
 		}
-		s.stable = core.Stable(s.g, budgets)
+		s.stableBudgets = s.stableBudgets[:s.N()]
+		for i := range s.stableBudgets {
+			s.stableBudgets[i] = s.cfg.Budget(i)
+		}
+		s.stable = s.stableArena.Stable(s.g, s.stableBudgets)
 		s.stableDirty = false
 	}
 	return s.stable
@@ -149,7 +160,8 @@ func (s *Simulator) SetStable() {
 // RemovePeer removes p from the system: its collaborations dissolve, its
 // acceptance edges disappear, and it stops taking initiatives. Removing an
 // absent peer is a no-op. Returns p's former mates (the peers that will feel
-// the domino effect first).
+// the domino effect first); the slice lives in configuration-owned scratch
+// and is valid until the next removal.
 func (s *Simulator) RemovePeer(p int) []int {
 	if p < 0 || p >= s.N() || !s.present[p] {
 		return nil

@@ -173,9 +173,14 @@ func deviationStats(uploads []float64, bDefault, bDev int, d float64, draws int,
 	r := rng.New(seed + uint64(bDev)*0x9e3779b97f4a7c15)
 	var sumQuality, sumEff float64
 	var matchedSlots int
+	// Draw-loop arenas: graph buffers and the Config slab are recycled
+	// across the Monte-Carlo draws (identical samples, zero steady-state
+	// allocations).
+	var garena graph.Arena
+	var carena core.Arena
 	for s := 0; s < draws; s++ {
-		g := graph.ErdosRenyiMeanDegree(n, d, r)
-		cfg := core.Stable(g, rankBudget)
+		g := garena.ErdosRenyiMeanDegree(n, d, r)
+		cfg := carena.Stable(g, rankBudget)
 		mates := cfg.Mates(devRank)
 		var download float64
 		for _, m := range mates {

@@ -101,13 +101,28 @@ func Gossip(cfg Config) (*Result, error) {
 	}
 	rankErr := textplot.Series{Name: "rank MAE (normalized)"}
 	disorder := textplot.Series{Name: "disorder of estimated-rank matching"}
+	// Run-level buffers shared by every measurement: estimate and
+	// permutation scratch, the uniform budget vector, and the arenas behind
+	// the relabeled graph and the two matchings. Re-ranking used to rebuild
+	// all of these per record — thousands of allocations per run for a
+	// handful of measurements.
+	est := make([]float64, n)
+	rankOf := make([]int, n)
+	peerAt := make([]int, n)
+	ones := make([]int, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	var relabelArena graph.Arena
+	var stArena, outArena core.Arena
 	record := func(round int) (float64, float64) {
 		mae := nw.MeanAbsRankError()
 		// Re-rank peers by estimated rank and solve the matching in that
 		// order; measure its distance to the true stable matching.
-		est := nw.EstimatedRanks()
-		_, peerAt := rankPermutation(est)
-		cfgEst := stableUnderPermutation(g, peerAt)
+		nw.EstimatedRanksInto(est)
+		rankPermutation(est, rankOf, peerAt)
+		gr := relabelArena.Relabel(g, rankOf)
+		cfgEst := mapBackMatching(stArena.StableUniform(gr, 1), peerAt, outArena.Reset(ones))
 		dis := core.Distance(cfgEst, truth)
 		rankErr.X = append(rankErr.X, float64(round))
 		rankErr.Y = append(rankErr.Y, mae)
@@ -136,11 +151,10 @@ func Gossip(cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// rankPermutation sorts peers by estimated rank (ascending; ties by id) and
-// returns rankOf / peerAt permutations.
-func rankPermutation(est []float64) (rankOf, peerAt []int) {
+// rankPermutation sorts peers by estimated rank (ascending; ties by id)
+// into the caller-owned rankOf / peerAt permutation buffers.
+func rankPermutation(est []float64, rankOf, peerAt []int) {
 	n := len(est)
-	peerAt = make([]int, n)
 	for i := range peerAt {
 		peerAt[i] = i
 	}
@@ -155,35 +169,16 @@ func rankPermutation(est []float64) (rankOf, peerAt []int) {
 			peerAt[j-1], peerAt[j] = peerAt[j], peerAt[j-1]
 		}
 	}
-	rankOf = make([]int, n)
 	for rank, peer := range peerAt {
 		rankOf[peer] = rank
 	}
-	return rankOf, peerAt
 }
 
-// stableUnderPermutation computes the stable matching where preference
-// order is given by peerAt (best first) instead of the identity, and maps
-// the result back to original peer ids.
-func stableUnderPermutation(g graph.Graph, peerAt []int) *core.Config {
-	n := g.N()
-	rankOf := make([]int, n)
-	for rank, peer := range peerAt {
-		rankOf[peer] = rank
-	}
-	// Relabel the graph into rank space.
-	gr := graph.NewAdjacency(n)
-	for i := 0; i < n; i++ {
-		for _, j := range g.Neighbors(i) {
-			if j > i {
-				gr.AddEdge(rankOf[i], rankOf[j])
-			}
-		}
-	}
-	st := core.StableUniform(gr, 1)
-	// Map back.
-	out := core.NewUniformConfig(n, 1)
-	for rank := 0; rank < n; rank++ {
+// mapBackMatching copies the rank-space stable matching st into out (an
+// empty configuration over the original peer ids) via the peerAt
+// permutation, and returns out.
+func mapBackMatching(st *core.Config, peerAt []int, out *core.Config) *core.Config {
+	for rank := 0; rank < len(peerAt); rank++ {
 		for _, mateRank := range st.Mates(rank) {
 			if mateRank > rank {
 				if err := out.Match(peerAt[rank], peerAt[mateRank]); err != nil {

@@ -186,11 +186,17 @@ func (nw *Network) EstimatedRank(i int) float64 {
 
 // EstimatedRanks returns all current estimates.
 func (nw *Network) EstimatedRanks() []float64 {
-	out := make([]float64, nw.N())
-	for i := range out {
-		out[i] = nw.EstimatedRank(i)
+	return nw.EstimatedRanksInto(make([]float64, nw.N()))
+}
+
+// EstimatedRanksInto writes all current estimates into dst (which must have
+// length N) and returns it — the allocation-free form for callers that
+// measure repeatedly.
+func (nw *Network) EstimatedRanksInto(dst []float64) []float64 {
+	for i := range dst {
+		dst[i] = nw.EstimatedRank(i)
 	}
-	return out
+	return dst
 }
 
 // View returns a copy of node i's current view (for tests and debugging).

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+
+	"stratmatch/internal/ints"
+	"stratmatch/internal/rng"
+)
+
+// requireSameGraph fails unless got and want have identical neighbor lists.
+func requireSameGraph(t *testing.T, got, want Graph) {
+	t.Helper()
+	if got.N() != want.N() {
+		t.Fatalf("N: got %d, want %d", got.N(), want.N())
+	}
+	for i := 0; i < want.N(); i++ {
+		if !ints.Equal(got.Neighbors(i), want.Neighbors(i)) {
+			t.Fatalf("neighbors of %d: got %v, want %v", i, got.Neighbors(i), want.Neighbors(i))
+		}
+	}
+}
+
+// TestArenaErdosRenyiMatchesFresh pins the arena contract: a recycled arena
+// fed the same random stream must reproduce the fresh sampler's graph
+// exactly, across draws of shifting sizes and densities.
+func TestArenaErdosRenyiMatchesFresh(t *testing.T) {
+	meta := rng.New(11)
+	var a Arena
+	for draw := 0; draw < 40; draw++ {
+		n := 2 + meta.Intn(300)
+		p := float64(1+meta.Intn(20)) / float64(n)
+		seed := uint64(500 + draw)
+		got := a.ErdosRenyi(n, p, rng.New(seed))
+		want := ErdosRenyi(n, p, rng.New(seed))
+		requireSameGraph(t, got, want)
+	}
+}
+
+// TestArenaRelabel checks the relabeled graph against a naive AddEdge
+// construction, including sortedness of every neighbor list.
+func TestArenaRelabel(t *testing.T) {
+	r := rng.New(12)
+	var a Arena
+	for draw := 0; draw < 20; draw++ {
+		n := 2 + r.Intn(120)
+		g := ErdosRenyi(n, 6.0/float64(n), r)
+		rankOf := r.Perm(n)
+		want := NewAdjacency(n)
+		for i := 0; i < n; i++ {
+			for _, j := range g.Neighbors(i) {
+				if j > i {
+					want.AddEdge(rankOf[i], rankOf[j])
+				}
+			}
+		}
+		requireSameGraph(t, a.Relabel(g, rankOf), want)
+	}
+}
+
+// TestArenaErdosRenyiZeroAllocSteadyState pins the perf contract the
+// Monte-Carlo loops rely on: once warmed up, an arena draw allocates
+// nothing. A fixed seed keeps the edge count identical across runs so the
+// warm sizing covers every measured draw.
+func TestArenaErdosRenyiZeroAllocSteadyState(t *testing.T) {
+	var a Arena
+	const n, seed = 2000, 77
+	p := 25.0 / float64(n)
+	a.ErdosRenyi(n, p, rng.New(seed))
+	if allocs := testing.AllocsPerRun(20, func() { a.ErdosRenyi(n, p, rng.New(seed)) }); allocs > 1 {
+		// One alloc is the rng.New above; the draw itself must be free.
+		t.Fatalf("arena ErdosRenyi allocates %.2f objects per draw at steady state, want <= 1 (the test's own RNG)", allocs)
+	}
+}

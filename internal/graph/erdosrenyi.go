@@ -18,56 +18,15 @@ import (
 // sorted order — Monte-Carlo loops that draw thousands of graphs spend
 // their time in the sampler, and incremental sorted inserts with slice
 // regrowth used to dominate that cost.
+// Loops that draw many graphs should hold a graph.Arena and call its
+// ErdosRenyi method instead: same sampler, zero steady-state allocations.
 func ErdosRenyi(n int, p float64, r *rng.RNG) *Adjacency {
-	g := NewAdjacency(n)
-	switch {
-	case p <= 0 || n < 2:
-		return g
-	case p >= 1:
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				g.AddEdge(i, j)
-			}
-		}
-		return g
-	}
-	// Walk the strictly-lower-triangular adjacency matrix row by row,
-	// skipping ahead by geometrically distributed gaps.
-	gs := geoSkipFor(p)
-	edges := make([]uint64, 0, int(p*float64(n)*float64(n-1)/2)+16)
-	deg := make([]int32, n)
-	v, w := 1, -1
-	for v < n {
-		w += 1 + gs.next(r)
-		for w >= v && v < n {
-			w -= v
-			v++
-		}
-		if v < n {
-			edges = append(edges, uint64(v)<<32|uint64(w))
-			deg[v]++
-			deg[w]++
-		}
-	}
-	// Carve per-peer lists out of one slab. Full-slice expressions cap each
-	// segment, so later churn mutations (ints.Insert past the cap) reallocate
-	// privately instead of bleeding into the next peer's segment.
-	slab := make([]int, 2*len(edges))
-	off := 0
-	for i := 0; i < n; i++ {
-		d := int(deg[i])
-		g.adj[i] = slab[off : off : off+d]
-		off += d
-	}
-	// Edges arrive in lexicographic (v, w) order with w < v, so every list
-	// receives its smaller neighbors first (increasing w, while its row is
-	// scanned) and its larger neighbors afterwards (increasing v): plain
-	// tail appends keep each list sorted.
-	for _, e := range edges {
-		v, w := int(e>>32), int(e&0xffffffff)
-		g.adj[v] = append(g.adj[v], w)
-		g.adj[w] = append(g.adj[w], v)
-	}
+	var a Arena
+	g := a.ErdosRenyi(n, p, r)
+	// Drop the sampler scratch: the returned graph is an interior pointer
+	// into the arena, and a long-lived one-shot graph must not pin the edge
+	// buffer (8 B/edge) and degree counts alongside its adjacency slab.
+	a.edges, a.deg = nil, nil
 	return g
 }
 

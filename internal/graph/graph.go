@@ -141,8 +141,10 @@ func (g *Adjacency) RemoveEdge(i, j int) {
 }
 
 // DetachPeer removes every edge incident to i, returning the former
-// neighbors. The peer keeps its slot in the graph (rank identity is stable);
-// churn re-attaches it later with AddEdge.
+// neighbors. The peer keeps its slot in the graph (rank identity is stable)
+// and its list keeps its storage, so churn re-attachment (AddEdge) refills
+// it in place instead of growing from nil. The returned slice aliases that
+// storage: it is valid only until the next AddEdge(i, ...).
 func (g *Adjacency) DetachPeer(i int) []int {
 	if i < 0 || i >= len(g.adj) {
 		return nil
@@ -151,7 +153,7 @@ func (g *Adjacency) DetachPeer(i int) []int {
 	for _, j := range old {
 		g.adj[j] = ints.Remove(g.adj[j], i)
 	}
-	g.adj[i] = nil
+	g.adj[i] = old[:0]
 	return old
 }
 

@@ -77,21 +77,52 @@ func percentileSorted(sorted []float64, q float64) float64 {
 // Pearson returns the Pearson correlation coefficient of two equal-length
 // samples, or NaN when undefined (length < 2 or zero variance).
 func Pearson(xs, ys []float64) float64 {
-	if len(xs) != len(ys) || len(xs) < 2 {
+	if len(xs) != len(ys) {
 		return math.NaN()
 	}
-	n := float64(len(xs))
-	var sx, sy, sxx, syy, sxy float64
+	var a PearsonAcc
 	for i := range xs {
-		sx += xs[i]
-		sy += ys[i]
-		sxx += xs[i] * xs[i]
-		syy += ys[i] * ys[i]
-		sxy += xs[i] * ys[i]
+		a.Add(xs[i], ys[i])
 	}
-	cov := sxy/n - sx/n*sy/n
-	vx := sxx/n - sx/n*sx/n
-	vy := syy/n - sy/n*sy/n
+	return a.Corr()
+}
+
+// PearsonAcc accumulates a Pearson correlation one observation at a time,
+// for streaming callers (scenario time-series samplers) that cannot afford
+// the two slices Pearson takes. Pearson itself delegates here, so feeding
+// the same pairs in the same order yields exactly Pearson's result by
+// construction.
+type PearsonAcc struct {
+	n                     int
+	sx, sy, sxx, syy, sxy float64
+}
+
+// Reset clears the accumulator for a fresh sample.
+func (a *PearsonAcc) Reset() { *a = PearsonAcc{} }
+
+// Add records one (x, y) observation.
+func (a *PearsonAcc) Add(x, y float64) {
+	a.n++
+	a.sx += x
+	a.sy += y
+	a.sxx += x * x
+	a.syy += y * y
+	a.sxy += x * y
+}
+
+// N returns the number of observations recorded.
+func (a *PearsonAcc) N() int { return a.n }
+
+// Corr returns the Pearson correlation of the recorded observations, or NaN
+// when undefined (fewer than two observations or zero variance).
+func (a *PearsonAcc) Corr() float64 {
+	if a.n < 2 {
+		return math.NaN()
+	}
+	n := float64(a.n)
+	cov := a.sxy/n - a.sx/n*a.sy/n
+	vx := a.sxx/n - a.sx/n*a.sx/n
+	vy := a.syy/n - a.sy/n*a.sy/n
 	if vx <= 0 || vy <= 0 {
 		return math.NaN()
 	}

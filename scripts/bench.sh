@@ -1,14 +1,59 @@
 #!/bin/sh
-# Run the per-experiment benchmarks once each (every paper figure/table
-# plus the extensions, including the churn scenario catalog behind
-# BenchmarkChurn) and record the results as BENCH_results.json at the
-# repository root, so the performance trajectory is tracked across PRs.
-# Pass extra `go test` flags through, e.g.:
+# Run the per-experiment benchmarks (every paper figure/table plus the
+# extensions, including the churn scenario catalog behind BenchmarkChurn)
+# and record the results as BENCH_results.json at the repository root, so
+# the performance trajectory is tracked across PRs. Benchmarks run at
+# -benchtime=3x so single-run noise doesn't dominate the comparisons.
 #
-#   scripts/bench.sh                 # default: -benchtime=1x -benchmem
-#   scripts/bench.sh -benchtime=5x
+#   scripts/bench.sh                          # default: -benchtime=3x -benchmem
+#   scripts/bench.sh --compare old.json       # also diff against a previous
+#                                             # BENCH_results.json: >20% ns/op
+#                                             # or B/op growth is reported to
+#                                             # stderr (report only — the exit
+#                                             # code is unaffected)
+#   scripts/bench.sh -benchtime=5x            # extra go test flags pass through
 set -eu
 cd "$(dirname "$0")/.."
-go test -run='^$' -bench=. -benchtime=1x -benchmem "$@" | tee /dev/stderr |
-	go run ./cmd/benchjson > BENCH_results.json
+
+# Extract --compare from anywhere in the argument list (it may be combined
+# with pass-through go test flags); everything else is forwarded to go test.
+compare=""
+n=$#
+while [ "$n" -gt 0 ]; do
+	arg=$1
+	shift
+	n=$((n - 1))
+	if [ "$arg" = "--compare" ]; then
+		if [ "$n" -eq 0 ]; then
+			echo "bench.sh: --compare requires a baseline path" >&2
+			exit 2
+		fi
+		compare=$1
+		shift
+		n=$((n - 1))
+	else
+		set -- "$@" "$arg"
+	fi
+done
+
+bench_out=$(mktemp)
+baseline=""
+trap 'rm -f "$bench_out" ${baseline:+"$baseline"}' EXIT
+
+# Snapshot the baseline before anything touches BENCH_results.json:
+# comparing against the committed file itself would otherwise read the
+# freshly overwritten document and always report a clean diff.
+if [ -n "$compare" ]; then
+	baseline=$(mktemp)
+	cp "$compare" "$baseline"
+fi
+
+# Run the benchmarks into a temp file first (not a pipeline: set -e cannot
+# see a failure upstream of a pipe) so a go test failure aborts the script
+# instead of feeding benchjson an empty stream and silently truncating
+# BENCH_results.json.
+go test -run='^$' -bench=. -benchtime=3x -benchmem "$@" > "$bench_out"
+cat "$bench_out" >&2
+
+go run ./cmd/benchjson ${baseline:+-compare "$baseline"} < "$bench_out" > BENCH_results.json
 echo "wrote BENCH_results.json" >&2
