@@ -9,6 +9,8 @@
 //	btswarm -replicas 16 -unlimited                      # parallel replica study
 //	btswarm -scenario poisson                            # dynamic membership
 //	btswarm -scenario massdepart -scenario-scale 2       # churn catalog, 2x size
+//	btswarm -dump-spec flashcrowd > flash.json           # catalog entry as JSON
+//	btswarm -spec flash.json -emit jsonl                 # run a spec file, stream JSONL
 //
 // With -replicas N, N independent swarms (seeds seed, seed+1, ...) run
 // across -workers goroutines and the stratification statistics are
@@ -19,9 +21,16 @@
 // arrival process, peer lifecycle — see -list-scenarios) runs instead of a
 // fixed population, printing its population/stratification time series and
 // the closing swarm report.
+//
+// Scenarios are declarative: -dump-spec NAME prints a catalog entry as a
+// JSON ScenarioSpec, -spec FILE loads and runs one (use /dev/stdin to
+// pipe), -scenario-scale rescales a loaded spec, and -emit jsonl streams
+// every sample, event and the closing summary as JSON lines through the
+// scenario Observer API — O(1) memory at any horizon and -sample-every 1.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -61,12 +70,25 @@ func run(args []string) error {
 		replicas  = fs.Int("replicas", 1, "independent replicas (seed, seed+1, ...) to aggregate")
 		workers   = fs.Int("workers", 0, "goroutines for replica fan-out (0 = all cores)")
 		scenario  = fs.String("scenario", "", "run a named churn scenario instead of a fixed swarm (see -list-scenarios)")
-		scScale   = fs.Float64("scenario-scale", 1, "population/length multiplier for -scenario")
-		scSample  = fs.Int("sample-every", 0, "scenario time-series sampling period in rounds (0 = catalog default; 1 = every round, sampling is allocation-free)")
+		scScale   = fs.Float64("scenario-scale", 1, "population/length multiplier for -scenario and -spec")
+		scSample  = fs.Int("sample-every", 0, "scenario time-series sampling period in rounds (0 = scenario default; 1 = every round, sampling is allocation-free)")
 		listSc    = fs.Bool("list-scenarios", false, "list the churn scenario catalog and exit")
+		specPath  = fs.String("spec", "", "load and run a JSON scenario spec from this file (use /dev/stdin to pipe)")
+		dumpSpec  = fs.String("dump-spec", "", "print the named catalog scenario as a JSON spec and exit")
+		emit      = fs.String("emit", "text", "scenario output format: text (series table + report) or jsonl (stream samples/events/summary as JSON lines)")
+		verbose   = fs.Bool("v", false, "verbose: note auto-sized preallocation and other diagnostics on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scSample < 0 {
+		return fmt.Errorf("-sample-every %d: must be >= 0", *scSample)
+	}
+	if *scScale <= 0 {
+		return fmt.Errorf("-scenario-scale %g: must be > 0", *scScale)
+	}
+	if *emit != "text" && *emit != "jsonl" {
+		return fmt.Errorf("-emit %q: must be text or jsonl", *emit)
 	}
 	if *listSc {
 		fmt.Println("churn scenario catalog:")
@@ -75,8 +97,49 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *dumpSpec != "" {
+		spec, err := btsim.NamedSpec(*dumpSpec, *seed, *scScale)
+		if err != nil {
+			return err
+		}
+		data, err := json.MarshalIndent(spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if *specPath != "" && *scenario != "" {
+		return fmt.Errorf("-spec and -scenario are mutually exclusive")
+	}
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return err
+		}
+		spec, err := btsim.ParseSpec(data)
+		if err != nil {
+			return err
+		}
+		spec = spec.Scaled(*scScale)
+		// An explicit -seed overrides the spec's baked-in seed, so one
+		// spec file drives many replicas.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				spec.Swarm.Seed = *seed
+			}
+		})
+		return runSpec(spec, *scSample, *emit, *verbose)
+	}
 	if *scenario != "" {
-		return runScenario(*scenario, *seed, *scScale, *scSample)
+		spec, err := btsim.NamedSpec(*scenario, *seed, *scScale)
+		if err != nil {
+			return err
+		}
+		return runSpec(spec, *scSample, *emit, *verbose)
+	}
+	if *emit != "text" {
+		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emit)
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas %d", *replicas)
@@ -183,21 +246,35 @@ func run(args []string) error {
 	return nil
 }
 
-// runScenario executes one catalog scenario and prints its time series and
-// closing report.
-func runScenario(name string, seed uint64, scale float64, sampleEvery int) error {
-	sc, err := btsim.NamedScenario(name, seed, scale)
+// runSpec compiles a scenario spec and runs it. Text mode materializes the
+// series and prints the classic table; jsonl mode streams every sample,
+// event and the closing summary through the Observer API — no
+// materialization, so dense sampling over long horizons is O(1) memory.
+func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool) error {
+	if sampleEvery > 0 {
+		spec.SampleEvery = sampleEvery
+	}
+	if verbose && spec.Swarm.MaxPeers == 0 {
+		fmt.Fprintf(os.Stderr,
+			"btswarm: swarm.max_peers unset; preallocating for an estimated peak of %d concurrent peers\n",
+			spec.MaxPeersEstimate())
+	}
+	sc, err := spec.Compile()
 	if err != nil {
 		return err
 	}
-	if sampleEvery > 0 {
-		sc.SampleEvery = sampleEvery
+	if emit == "jsonl" {
+		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout)}
+		if err := sc.RunObserver(em); err != nil {
+			return err
+		}
+		return em.err
 	}
 	res, err := sc.Run()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario:                %s (seed %d, scale %g)\n", res.Name, seed, scale)
+	fmt.Printf("scenario:                %s (seed %d)\n", res.Name, spec.Swarm.Seed)
 	fmt.Printf("peers ever joined:       %d\n", res.TotalJoined)
 	fmt.Printf("peers departed:          %d\n", res.TotalDeparted)
 	fmt.Println("\n  round  present  leechers  seeds  joined  departed  completed  mean_deg  strat_corr  D/U slow|mid|fast")
@@ -214,6 +291,86 @@ func runScenario(name string, seed uint64, scale float64, sampleEvery int) error
 	fmt.Println()
 	report(res.Final)
 	return nil
+}
+
+// jfloat marshals NaN (a legitimate "no data" sentinel in the series) as
+// JSON null, which encoding/json otherwise rejects.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// jsonlEmitter is the streaming Observer behind -emit jsonl: one JSON line
+// per sample ("sample"), per scenario event ("event"), and a closing
+// summary ("done"). It holds no series state.
+type jsonlEmitter struct {
+	enc *json.Encoder
+	err error
+}
+
+func (e *jsonlEmitter) encode(v any) {
+	if err := e.enc.Encode(v); err != nil && e.err == nil {
+		e.err = err
+	}
+}
+
+func (e *jsonlEmitter) OnSample(pt btsim.SeriesPoint) {
+	e.encode(struct {
+		Type       string    `json:"type"`
+		Round      int       `json:"round"`
+		Present    int       `json:"present"`
+		Leechers   int       `json:"leechers"`
+		Seeds      int       `json:"seeds"`
+		Joined     int       `json:"joined"`
+		Departed   int       `json:"departed"`
+		Completed  int       `json:"completed"`
+		MeanDegree jfloat    `json:"mean_degree"`
+		StratCorr  jfloat    `json:"strat_corr"`
+		ShareRatio [3]jfloat `json:"share_ratio_by_class"`
+	}{
+		Type: "sample", Round: pt.Round, Present: pt.Present,
+		Leechers: pt.Leechers, Seeds: pt.Seeds, Joined: pt.Joined,
+		Departed: pt.Departed, Completed: pt.Completed,
+		MeanDegree: jfloat(pt.MeanDegree), StratCorr: jfloat(pt.StratCorr),
+		ShareRatio: [3]jfloat{
+			jfloat(pt.ShareRatioByClass[0]),
+			jfloat(pt.ShareRatioByClass[1]),
+			jfloat(pt.ShareRatioByClass[2]),
+		},
+	})
+}
+
+func (e *jsonlEmitter) OnEvent(ev btsim.RunEvent) {
+	e.encode(struct {
+		Type string `json:"type"`
+		btsim.RunEvent
+	}{Type: "event", RunEvent: ev})
+}
+
+func (e *jsonlEmitter) OnDone(m btsim.Metrics) {
+	e.encode(struct {
+		Type              string `json:"type"`
+		Round             int    `json:"round"`
+		Present           int    `json:"present"`
+		PresentSeeds      int    `json:"present_seeds"`
+		CompletedLeechers int    `json:"completed_leechers"`
+		TotalJoined       int    `json:"total_joined"`
+		TotalDeparted     int    `json:"total_departed"`
+		MeanCompletion    jfloat `json:"mean_completion_round"`
+		StratCorrelation  jfloat `json:"strat_correlation"`
+		MeanAbsRankOffset jfloat `json:"mean_abs_rank_offset"`
+	}{
+		Type: "done", Round: m.Round, Present: m.Present,
+		PresentSeeds: m.PresentSeeds, CompletedLeechers: m.CompletedLeechers,
+		TotalJoined: len(m.Peers), TotalDeparted: m.TotalDeparted,
+		MeanCompletion:    jfloat(m.MeanCompletionRound),
+		StratCorrelation:  jfloat(m.StratCorrelation),
+		MeanAbsRankOffset: jfloat(m.MeanAbsRankOffset),
+	})
 }
 
 func report(m btsim.Metrics) {

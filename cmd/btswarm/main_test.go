@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stratmatch/internal/btsim"
+)
 
 func TestRunSmallSwarm(t *testing.T) {
 	err := run([]string{
@@ -44,9 +52,145 @@ func TestRunUntilDone(t *testing.T) {
 }
 
 func TestRunScenarios(t *testing.T) {
-	for _, name := range []string{"flashcrowd", "poisson", "massdepart"} {
+	// The whole catalog, including the spec-era workloads (tracereplay,
+	// seedstarve, slowquit).
+	for _, name := range btsim.ScenarioNames() {
 		if err := run([]string{"-scenario", name, "-scenario-scale", "0.1"}); err != nil {
 			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	return out
+}
+
+// TestDumpSpecLoadsAndRuns is the CLI serialization loop: -dump-spec
+// output, written to a file, must load through -spec and run — in both
+// text and jsonl emit modes.
+func TestDumpSpecLoadsAndRuns(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-dump-spec", "flashcrowd", "-scenario-scale", "0.1", "-seed", "5"})
+	})
+	path := filepath.Join(t.TempDir(), "flash.json")
+	if err := os.WriteFile(path, []byte(out), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path}); err != nil {
+		t.Fatalf("text run of dumped spec: %v", err)
+	}
+	jsonl := captureStdout(t, func() error {
+		return run([]string{"-spec", path, "-emit", "jsonl", "-sample-every", "100"})
+	})
+	lines := strings.Split(strings.TrimSpace(jsonl), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("jsonl emitted %d lines, want at least a sample and a done", len(lines))
+	}
+	for _, line := range lines {
+		var row map[string]any
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("jsonl line is not JSON: %q: %v", line, err)
+		}
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["type"] != "done" {
+		t.Fatalf("last jsonl line has type %v, want done", last["type"])
+	}
+}
+
+// TestRunSpecScaled: -scenario-scale rescales a loaded spec file.
+func TestRunSpecScaled(t *testing.T) {
+	spec, err := btsim.NamedSpec("poisson", 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "poisson.json")
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", path, "-scenario-scale", "0.05", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadSpec(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","rounds":0}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-spec", path})
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if !strings.Contains(err.Error(), "rounds") {
+		t.Fatalf("error does not name the offending field: %v", err)
+	}
+	if err := run([]string{"-spec", filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+	typo := filepath.Join(t.TempDir(), "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"name":"x","rounds":10,"swarm":{"leechers":5,"pieces":8},"arivals":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", typo}); err == nil {
+		t.Fatal("spec with a misspelled field accepted")
+	}
+}
+
+// TestRunRejectsBadScenarioFlags pins the flag-validation satellite:
+// negative -sample-every and non-positive -scenario-scale used to be
+// silently mangled; now they are errors, as are conflicting or unknown
+// modes.
+func TestRunRejectsBadScenarioFlags(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "poisson", "-sample-every", "-1"},
+		{"-scenario", "poisson", "-scenario-scale", "-2"},
+		{"-scenario", "poisson", "-scenario-scale", "0"},
+		{"-scenario", "poisson", "-emit", "xml"},
+		{"-scenario", "poisson", "-spec", "whatever.json"},
+		{"-dump-spec", "nope"},
+		{"-leechers", "10", "-emit", "jsonl"}, // jsonl needs a scenario/spec run
+
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v accepted", args)
 		}
 	}
 }

@@ -1,16 +1,25 @@
-// Churn example: the stable configuration as an attractor. Starting from an
-// empty overlay, peers converge; under continuous churn the system hovers
-// near the (moving) stable state, with a disorder plateau proportional to
-// the churn rate; and after a mass departure the overlay heals.
+// Churn example: declarative scenario specs and streaming observers. A
+// workload — Poisson arrivals plus a mid-run flash burst, capacity-biased
+// abandonment, and a scheduled mass departure — is described entirely in a
+// JSON spec file (spec.json, embedded; pass a path to run your own),
+// compiled into a runnable scenario, and consumed through the streaming
+// Observer API: the run samples every round, yet this program holds O(1)
+// series memory because the observer aggregates in place instead of
+// materializing the series.
 package main
 
 import (
+	_ "embed"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"stratmatch"
 )
+
+//go:embed spec.json
+var defaultSpec []byte
 
 func main() {
 	if err := run(); err != nil {
@@ -18,50 +27,84 @@ func main() {
 	}
 }
 
+// watcher implements stratmatch.ScenarioObserver: it prints a live
+// population bar every printEvery samples and keeps only scalar
+// aggregates — no series is ever materialized.
+type watcher struct {
+	printEvery int
+	seen       int
+	peak       stratmatch.ScenarioPoint
+}
+
+func (w *watcher) OnSample(pt stratmatch.ScenarioPoint) {
+	if pt.Present > w.peak.Present {
+		w.peak = pt
+	}
+	w.seen++
+	if w.seen%w.printEvery != 1 {
+		return
+	}
+	bar := strings.Repeat("#", pt.Present/2)
+	fmt.Printf("  round %4d  present %3d (%3d leech / %3d seed)  %s\n",
+		pt.Round, pt.Present, pt.Leechers, pt.Seeds, bar)
+}
+
+func (w *watcher) OnEvent(ev stratmatch.ScenarioEvent) {
+	fmt.Printf("  round %4d  ** %s: %d peers gone **\n", ev.Round, ev.Kind, ev.Departed)
+}
+
+func (w *watcher) OnDone(m stratmatch.SwarmMetrics) {
+	fmt.Printf("\nDone after %d rounds: %d peers ever joined, %d completed the file,\n",
+		m.Round, len(m.Peers), m.CompletedLeechers)
+	fmt.Printf("%d still present; peak population %d at round %d.\n",
+		m.Present, w.peak.Present, w.peak.Round)
+	// Capacity-biased abandonment (abandon_rank_bias in the spec) should
+	// have culled mostly slow peers mid-download.
+	var quit, quitCap, stay, stayCap float64
+	for _, pm := range m.Peers {
+		if pm.IsSeed {
+			continue
+		}
+		if pm.Departed && !pm.Done {
+			quit++
+			quitCap += pm.Capacity
+		} else {
+			stay++
+			stayCap += pm.Capacity
+		}
+	}
+	if quit > 0 && stay > 0 {
+		fmt.Printf("Abandonment was capacity-biased: %0.f quitters averaged %.0f kbps,\n"+
+			"the %0.f completers/stayers %.0f kbps.\n", quit, quitCap/quit, stay, stayCap/stay)
+	}
+}
+
 func run() error {
-	const (
-		n = 800
-		d = 10.0
-	)
-	attach := d / float64(n-1)
-
-	fmt.Println("Disorder under different churn rates (G(800, d=10), 1-matching):")
-	for _, churn := range []float64{0, 0.003, 0.03} {
-		nw, err := stratmatch.NewRandomNetwork(n, d, 1, 11)
-		if err != nil {
+	data := defaultSpec
+	src := "embedded spec.json"
+	if len(os.Args) > 1 {
+		var err error
+		if data, err = os.ReadFile(os.Args[1]); err != nil {
 			return err
 		}
-		sim, err := nw.Simulate(stratmatch.BestMate, 11)
-		if err != nil {
-			return err
-		}
-		traj := sim.RunChurn(20, 1, churn, attach)
-		fmt.Printf("\n  churn %.3f/initiative:\n", churn)
-		for _, pt := range traj {
-			if int(pt.Time)%2 != 0 {
-				continue
-			}
-			bar := strings.Repeat("#", int(pt.Disorder*120))
-			fmt.Printf("    t=%4.0f %-6.4f %s\n", pt.Time, pt.Disorder, bar)
-		}
+		src = os.Args[1]
 	}
 
-	// Mass departure: drop 10% of peers from the stable state and heal.
-	nw, err := stratmatch.NewRandomNetwork(n, d, 1, 13)
+	spec, err := stratmatch.ParseScenarioSpec(data)
 	if err != nil {
 		return err
 	}
-	sim, err := nw.Simulate(stratmatch.BestMate, 13)
+	fmt.Printf("Scenario %q (%s): %d rounds, %d arrival processes, %d scheduled events.\n",
+		spec.Name, src, spec.Rounds, len(spec.Arrivals), len(spec.Events))
+	if spec.Swarm.MaxPeers == 0 {
+		fmt.Printf("max_peers unset: compiling with an estimated peak of %d concurrent peers.\n",
+			spec.MaxPeersEstimate())
+	}
+	fmt.Println()
+
+	sc, err := spec.Compile()
 	if err != nil {
 		return err
 	}
-	sim.JumpToStable()
-	for p := 0; p < n/10; p++ {
-		sim.RemovePeer(p * 10)
-	}
-	fmt.Printf("\nAfter removing 10%% of peers: disorder %.4f\n", sim.Disorder())
-	sim.Run(10, 1)
-	fmt.Printf("After 10 initiatives/peer:     disorder %.4f (converged: %v)\n",
-		sim.Disorder(), sim.Converged())
-	return nil
+	return sc.RunObserver(&watcher{printEvery: 60})
 }

@@ -21,10 +21,11 @@ import (
 )
 
 // Anchor is one (bandwidth, cumulative fraction) point of a piecewise
-// log-linear CDF.
+// log-linear CDF. The json tags let custom distributions live in
+// serialized scenario descriptions (btsim.CapacitySpec).
 type Anchor struct {
-	Kbps float64 // upstream capacity in kbit/s
-	CDF  float64 // fraction of hosts with capacity <= Kbps, in [0, 1]
+	Kbps float64 `json:"kbps"` // upstream capacity in kbit/s
+	CDF  float64 `json:"cdf"`  // fraction of hosts with capacity <= Kbps, in [0, 1]
 }
 
 // Distribution is a continuous, strictly increasing bandwidth distribution

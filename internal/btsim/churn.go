@@ -105,19 +105,28 @@ func (c CombinedArrivals) Arrivals(round int, r *rng.RNG) int {
 // applies after every round: leechers may abandon, and completed leechers
 // (promoted to seeds) linger for a while before leaving — the
 // leecher → seed → gone lifecycle of real swarms. The zero value is inert
-// (nobody ever departs), mirroring a nil Arrivals.
+// (nobody ever departs), mirroring a nil Arrivals. The struct is plain
+// data; the tags are its ScenarioSpec wire names.
 type Departures struct {
 	// AbandonPerRound is the probability that a present, unfinished
 	// leecher gives up in any given round.
-	AbandonPerRound float64
+	AbandonPerRound float64 `json:"abandon_per_round,omitempty"`
+	// AbandonRankBias correlates abandonment with capacity: a leecher at
+	// bandwidth-rank fraction q ∈ [0, 1] (0 = fastest present peer,
+	// 1 = slowest) abandons with probability
+	// AbandonPerRound · (1 + AbandonRankBias·q). Slow peers see crawling
+	// downloads and give up more readily — the capacity-correlated
+	// abandonment workload. 0 (the default) keeps abandonment uniform and
+	// the random stream identical to earlier versions.
+	AbandonRankBias float64 `json:"abandon_rank_bias,omitempty"`
 	// SeedLingerRounds is how long a completed leecher stays seeding
 	// before departing; values <= 0 mean finished peers never leave
 	// (near-immediate departure is SeedLingerRounds: 1).
-	SeedLingerRounds int
+	SeedLingerRounds int `json:"seed_linger_rounds,omitempty"`
 	// InitialSeedsStay exempts the initial seeds (and seeds added via
 	// Join with asSeed) from the linger rule, keeping the content source
 	// alive for the whole scenario.
-	InitialSeedsStay bool
+	InitialSeedsStay bool `json:"initial_seeds_stay,omitempty"`
 }
 
 // applyDepartures runs one round of lifecycle departures. Candidates are
@@ -128,6 +137,12 @@ type Departures struct {
 func (s *Swarm) applyDepartures(d Departures, r *rng.RNG, scratch *[]int32) int {
 	if d.AbandonPerRound <= 0 && d.SeedLingerRounds <= 0 {
 		return 0
+	}
+	// Rank-fraction denominator for capacity-correlated abandonment: ranks
+	// of present peers span 0..present-1.
+	rankScale := 1.0
+	if d.AbandonRankBias != 0 && s.present > 1 {
+		rankScale = 1 / float64(s.present-1)
 	}
 	leaving := (*scratch)[:0]
 	for _, id := range s.trk.present {
@@ -145,7 +160,11 @@ func (s *Swarm) applyDepartures(d Departures, r *rng.RNG, scratch *[]int32) int 
 				leaving = append(leaving, id)
 			}
 		case d.AbandonPerRound > 0:
-			if r.Bool(d.AbandonPerRound) {
+			prob := d.AbandonPerRound
+			if d.AbandonRankBias != 0 {
+				prob *= 1 + d.AbandonRankBias*float64(s.rank[p.id])*rankScale
+			}
+			if r.Bool(prob) {
 				leaving = append(leaving, id)
 			}
 		}

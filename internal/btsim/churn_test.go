@@ -311,6 +311,73 @@ func TestStepAllocsUnderSteadyChurn(t *testing.T) {
 	checkConservation(t, s, "after alloc run")
 }
 
+// TestAbandonRankBias: capacity-correlated abandonment removes slow peers
+// preferentially, and a zero bias consumes the random stream exactly like
+// the unbiased rule (so old scenarios replay unchanged).
+func TestAbandonRankBias(t *testing.T) {
+	build := func() *Swarm {
+		caps := make([]float64, 60)
+		for i := range caps {
+			caps[i] = 100 + 100*float64(i) // strictly increasing: id == 59-rank
+		}
+		s, err := New(Options{
+			Leechers: 60, Pieces: 1, ContentUnlimited: true,
+			UploadKbps: caps, NeighborCount: 8, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	s := build()
+	r := rng.New(5)
+	var scratch []int32
+	biased := Departures{AbandonPerRound: 0.01, AbandonRankBias: 8}
+	for round := 0; round < 150 && s.present > 10; round++ {
+		s.Step()
+		s.applyDepartures(biased, r, &scratch)
+	}
+	var goneCap, stayCap, gone, stay float64
+	for i := range s.peers {
+		if s.peers[i].departed {
+			goneCap += s.peers[i].capacity
+			gone++
+		} else {
+			stayCap += s.peers[i].capacity
+			stay++
+		}
+	}
+	if gone == 0 || stay == 0 {
+		t.Fatalf("degenerate outcome: %v gone, %v stayed", gone, stay)
+	}
+	if goneCap/gone >= stayCap/stay {
+		t.Fatalf("rank bias did not cull slow peers: departed mean %v kbps, stayed mean %v kbps",
+			goneCap/gone, stayCap/stay)
+	}
+
+	// Zero bias must be byte-identical to the pre-bias rule: same
+	// departures, same stream consumption.
+	a, b := build(), build()
+	ra, rb := rng.New(6), rng.New(6)
+	var sa, sb []int32
+	for round := 0; round < 80; round++ {
+		a.Step()
+		b.Step()
+		a.applyDepartures(Departures{AbandonPerRound: 0.02}, ra, &sa)
+		b.applyDepartures(Departures{AbandonPerRound: 0.02, AbandonRankBias: 0}, rb, &sb)
+	}
+	if a.totalDeparted != b.totalDeparted || ra.Uint64() != rb.Uint64() {
+		t.Fatalf("zero bias diverged from the unbiased rule: %d vs %d departures",
+			a.totalDeparted, b.totalDeparted)
+	}
+	for i := range a.peers {
+		if a.peers[i].departed != b.peers[i].departed {
+			t.Fatalf("peer %d departure state diverged under zero bias", i)
+		}
+	}
+}
+
 // TestArrivalProcesses pins the arrival processes' contracts: bursts and
 // traces are exact, Poisson matches its mean, and combination sums.
 func TestArrivalProcesses(t *testing.T) {

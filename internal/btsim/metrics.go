@@ -44,6 +44,9 @@ type Metrics struct {
 	// PresentSeeds includes leechers promoted to seed on completion.
 	Present      int
 	PresentSeeds int
+	// TotalDeparted counts the peers that ever left (len(Peers) is the
+	// total that ever joined), so observers need not rescan the roster.
+	TotalDeparted int
 	// MeanCompletionRound averages DoneRound over completed leechers that
 	// started incomplete (NaN if none).
 	MeanCompletionRound float64
@@ -67,7 +70,10 @@ type Metrics struct {
 
 // Snapshot computes metrics for the current state.
 func (s *Swarm) Snapshot() Metrics {
-	m := Metrics{Round: s.round, Present: s.present, PresentSeeds: s.presentDone}
+	m := Metrics{
+		Round: s.round, Present: s.present, PresentSeeds: s.presentDone,
+		TotalDeparted: s.totalDeparted,
+	}
 	var (
 		ownRanks, partnerRanks []float64
 		offsets                []float64

@@ -1,0 +1,60 @@
+package btsim
+
+// Observer receives a scenario's output as the run produces it. The
+// streaming contract:
+//
+//   - OnSample is called once per sampling round (every SampleEvery rounds,
+//     plus the final round) with the SeriesPoint for that round. The point
+//     is passed by value and the runner retains no reference — an observer
+//     may keep it, aggregate it, or drop it. A non-collecting observer
+//     holds a dense SampleEvery: 1 run over any horizon in O(1) memory;
+//     the runner side allocates O(1) amortized per round
+//     (TestScenarioObserverZeroAlloc pins this).
+//   - OnEvent is called when a discrete scenario occurrence fires (see
+//     RunEvent for the kinds). A "shock" is reported right after the mass
+//     departure is applied, before that round's Step; "drained" is
+//     reported at the end of the round that left the population at zero,
+//     before that round's sample (if any).
+//   - OnDone is called exactly once, after the last round, with the closing
+//     roster snapshot (departed peers included). Metrics.Peers has one row
+//     per peer that ever joined, so len(Peers) is the total-joined count.
+//
+// Calls arrive in round order from the goroutine running the scenario;
+// observers need no locking of their own.
+type Observer interface {
+	OnSample(SeriesPoint)
+	OnEvent(RunEvent)
+	OnDone(Metrics)
+}
+
+// RunEvent is a discrete scenario occurrence reported to observers.
+type RunEvent struct {
+	// Round is the round at which the event fired.
+	Round int `json:"round"`
+	// Kind classifies the event:
+	//   - "shock":   a scheduled Event mass departure fired
+	//   - "drained": the present population just reached zero
+	Kind string `json:"kind"`
+	// Departed is the number of peers the event removed (shocks only).
+	Departed int `json:"departed,omitempty"`
+}
+
+// seriesCollector is the Observer behind Scenario.Run: it materializes the
+// whole series and the closing metrics into a ScenarioResult — the
+// original, memory-O(rounds) contract, kept for callers that want the
+// complete series in hand.
+type seriesCollector struct {
+	res ScenarioResult
+}
+
+func (c *seriesCollector) OnSample(pt SeriesPoint) {
+	c.res.Series = append(c.res.Series, pt)
+}
+
+func (c *seriesCollector) OnEvent(RunEvent) {}
+
+func (c *seriesCollector) OnDone(m Metrics) {
+	c.res.Final = m
+	c.res.TotalJoined = len(m.Peers)
+	c.res.TotalDeparted = m.TotalDeparted
+}

@@ -5,7 +5,6 @@ import (
 	"math"
 	"sort"
 
-	"stratmatch/internal/bandwidth"
 	"stratmatch/internal/rng"
 	"stratmatch/internal/stats"
 )
@@ -25,8 +24,9 @@ type Scenario struct {
 	// Arrivals is the arrival process (nil: nobody joins).
 	Arrivals Arrivals
 	// CapacityDist draws upload capacities for arriving peers (nil: every
-	// arrival gets 400 kbps).
-	CapacityDist *bandwidth.Distribution
+	// arrival gets 400 kbps). When set and Opt.UploadKbps is nil, the
+	// initial leechers draw from it too (initial seeds get 5000 kbps).
+	CapacityDist CapacitySampler
 	// ArrivalSeedFraction is the probability that an arrival is a seed
 	// rather than a leecher (usually 0; small values model replica
 	// injection).
@@ -48,11 +48,12 @@ type Scenario struct {
 }
 
 // Event is a scheduled membership shock: at Round, DepartFraction of the
-// present population (seeds only if IncludeSeeds) leaves at once.
+// present population (seeds only if IncludeSeeds) leaves at once. The
+// struct is plain data; the tags are its ScenarioSpec wire names.
 type Event struct {
-	Round          int
-	DepartFraction float64
-	IncludeSeeds   bool
+	Round          int     `json:"round"`
+	DepartFraction float64 `json:"depart_fraction"`
+	IncludeSeeds   bool    `json:"include_seeds,omitempty"`
 }
 
 // SeriesPoint is one sample of a scenario's time series.
@@ -96,13 +97,40 @@ type ScenarioResult struct {
 	TotalDeparted int
 }
 
-// Run executes the scenario. The per-round order is: arrivals and
-// scheduled events first (newcomers participate in the round they join),
-// then one simulation step, then lifecycle departures, then tracker
-// re-announces for under-connected peers, then sampling.
+// sampleEvery resolves the effective sampling period (0 means every 10
+// rounds) — the single source for both the runner and Run's pre-sizing.
+func (sc Scenario) sampleEvery() int {
+	if sc.SampleEvery <= 0 {
+		return 10
+	}
+	return sc.SampleEvery
+}
+
+// Run executes the scenario and materializes the complete time series —
+// it is RunObserver driving a collecting Observer, kept for callers that
+// want the whole series in hand. Memory is O(rounds / SampleEvery); for
+// dense sampling over long horizons, stream through RunObserver instead.
 func (sc Scenario) Run() (*ScenarioResult, error) {
+	col := seriesCollector{res: ScenarioResult{Name: sc.Name}}
+	if sc.Rounds > 0 {
+		col.res.Series = make([]SeriesPoint, 0, (sc.Rounds-1)/sc.sampleEvery()+2)
+	}
+	if err := sc.RunObserver(&col); err != nil {
+		return nil, err
+	}
+	return &col.res, nil
+}
+
+// RunObserver executes the scenario, streaming samples, events and the
+// closing metrics to obs (see Observer for the contract). The per-round
+// order is: arrivals and scheduled events first (newcomers participate in
+// the round they join), then one simulation step, then lifecycle
+// departures, then tracker re-announces for under-connected peers, then
+// sampling. Nothing is materialized on the runner side, so a dense
+// SampleEvery: 1 run over a very long horizon holds O(1) series memory.
+func (sc Scenario) RunObserver(obs Observer) error {
 	if sc.Rounds < 1 {
-		return nil, fmt.Errorf("scenario %s: %d rounds", sc.Name, sc.Rounds)
+		return fmt.Errorf("scenario %s: %d rounds", sc.Name, sc.Rounds)
 	}
 	// The churn driver's randomness splits off the seed so it cannot
 	// collide with the swarm's own stream (same discipline as the replica
@@ -127,22 +155,18 @@ func (sc Scenario) Run() (*ScenarioResult, error) {
 	}
 	s, err := New(opt)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
 
-	sampleEvery := sc.SampleEvery
-	if sampleEvery <= 0 {
-		sampleEvery = 10
-	}
+	sampleEvery := sc.sampleEvery()
 	reannounce := sc.ReannounceInterval
 	if reannounce <= 0 {
 		reannounce = 10
 	}
 
-	res := &ScenarioResult{Name: sc.Name}
-	res.Series = make([]SeriesPoint, 0, (sc.Rounds-1)/sampleEvery+2)
 	sampler := seriesSampler{classes: newClassBounds(s)}
 	var scratch []int32
+	alive := s.present > 0
 	for round := 0; round < sc.Rounds; round++ {
 		if sc.Arrivals != nil {
 			for k := sc.Arrivals.Arrivals(round, churnR); k > 0; k-- {
@@ -155,20 +179,26 @@ func (sc Scenario) Run() (*ScenarioResult, error) {
 		}
 		for _, ev := range sc.Events {
 			if ev.Round == round {
-				s.massDepart(ev.DepartFraction, ev.IncludeSeeds, churnR, &scratch)
+				gone := s.massDepart(ev.DepartFraction, ev.IncludeSeeds, churnR, &scratch)
+				obs.OnEvent(RunEvent{Round: round, Kind: "shock", Departed: gone})
 			}
 		}
 		s.Step()
 		s.applyDepartures(sc.Departures, churnR, &scratch)
 		s.ReannounceUnderConnected(reannounce)
+		switch {
+		case s.present == 0 && alive:
+			obs.OnEvent(RunEvent{Round: round, Kind: "drained"})
+			alive = false
+		case s.present > 0:
+			alive = true
+		}
 		if round%sampleEvery == 0 || round == sc.Rounds-1 {
-			res.Series = append(res.Series, sampler.sample(s))
+			obs.OnSample(sampler.sample(s))
 		}
 	}
-	res.Final = s.Snapshot()
-	res.TotalJoined = s.TotalJoined()
-	res.TotalDeparted = s.TotalDeparted()
-	return res, nil
+	obs.OnDone(s.Snapshot())
+	return nil
 }
 
 // classBounds splits capacities into terciles. Bounds come from the
@@ -261,104 +291,14 @@ func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
 	return pt
 }
 
-// ScenarioNames lists the catalog in presentation order.
-func ScenarioNames() []string {
-	return []string{"flashcrowd", "poisson", "massdepart"}
-}
-
 // NamedScenario builds one of the canonical churn scenarios at the given
-// seed and population scale (1.0 = the default size; scales below ~0.1 are
-// clamped to stay meaningful). The catalog:
-//
-//   - flashcrowd: a tiny seeded swarm absorbs a burst of empty newcomers —
-//     Section 6's flash-crowd regime made dynamic. Completed peers linger
-//     briefly, then leave; the swarm must drain without losing the file.
-//   - poisson: steady-state swarm under continuous Poisson arrivals with
-//     abandonment and seed linger — the regime of Guo et al.'s measurement
-//     studies, where stratification must persist through turnover.
-//   - massdepart: half the population vanishes at once mid-run; the
-//     tracker's re-announce handouts must heal the overlay (mean degree
-//     recovers) and downloads must keep completing.
+// seed and population scale, compiled and ready to run. It is exactly
+// NamedSpec followed by ScenarioSpec.Compile; see NamedSpec for the
+// catalog.
 func NamedScenario(name string, seed uint64, scale float64) (Scenario, error) {
-	if scale <= 0 {
-		scale = 1
+	spec, err := NamedSpec(name, seed, scale)
+	if err != nil {
+		return Scenario{}, err
 	}
-	n := func(base int, min int) int {
-		v := int(float64(base) * scale)
-		if v < min {
-			v = min
-		}
-		return v
-	}
-	dist := bandwidth.Saroiu()
-	switch name {
-	case "flashcrowd":
-		burst := n(150, 20)
-		initial := n(10, 4)
-		return Scenario{
-			Name: name,
-			Opt: Options{
-				Leechers:      initial,
-				Seeds:         2,
-				Pieces:        32,
-				PieceKbit:     512,
-				NeighborCount: 10,
-				MaxPeers:      initial + 2 + burst,
-				Seed:          seed,
-			},
-			Rounds:       n(1200, 600),
-			Arrivals:     BurstArrivals{Start: 20, Rounds: 60, Total: burst},
-			CapacityDist: dist,
-			Departures: Departures{
-				SeedLingerRounds: 150,
-				InitialSeedsStay: true,
-			},
-		}, nil
-	case "poisson":
-		initial := n(40, 12)
-		return Scenario{
-			Name: name,
-			Opt: Options{
-				Leechers:      initial,
-				Seeds:         2,
-				Pieces:        32,
-				PieceKbit:     512,
-				NeighborCount: 10,
-				MaxPeers:      4 * initial,
-				Seed:          seed,
-			},
-			Rounds:       n(1500, 800),
-			Arrivals:     PoissonArrivals{PerRound: 0.4 * scale},
-			CapacityDist: dist,
-			Departures: Departures{
-				AbandonPerRound:  0.0005,
-				SeedLingerRounds: 120,
-				InitialSeedsStay: true,
-			},
-		}, nil
-	case "massdepart":
-		initial := n(80, 24)
-		return Scenario{
-			Name: name,
-			Opt: Options{
-				Leechers:       initial,
-				Seeds:          3,
-				Pieces:         32,
-				PieceKbit:      512,
-				NeighborCount:  10,
-				MaxPeers:       2 * initial,
-				PostFlashCrowd: true,
-				Seed:           seed,
-			},
-			Rounds:       n(1200, 700),
-			Arrivals:     PoissonArrivals{PerRound: 0.3 * scale},
-			CapacityDist: dist,
-			Departures: Departures{
-				SeedLingerRounds: 200,
-				InitialSeedsStay: true,
-			},
-			Events: []Event{{Round: 300, DepartFraction: 0.5}},
-		}, nil
-	}
-	return Scenario{}, fmt.Errorf("btsim: unknown scenario %q (known: %v)", name, ScenarioNames())
+	return spec.Compile()
 }

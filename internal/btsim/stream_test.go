@@ -112,6 +112,51 @@ func TestSeriesSamplerMatchesSnapshot(t *testing.T) {
 	}
 }
 
+// discardObserver keeps only the latest sample — the O(1)-memory consumer
+// the streaming API exists for.
+type discardObserver struct {
+	last    SeriesPoint
+	samples int
+}
+
+func (d *discardObserver) OnSample(pt SeriesPoint) { d.last = pt; d.samples++ }
+func (d *discardObserver) OnEvent(RunEvent)        {}
+func (d *discardObserver) OnDone(Metrics)          {}
+
+// TestScenarioObserverZeroAlloc extends the streaming pin to the whole
+// scenario runner: a steady-churn run driven through a non-collecting
+// observer at SampleEvery: 1 must stay O(1) amortized allocations per
+// round. The cost is measured differentially — the same scenario at two
+// horizons — so construction and warm-up allocations cancel and only the
+// per-round tail is pinned.
+func TestScenarioObserverZeroAlloc(t *testing.T) {
+	run := func(rounds int) func() {
+		return func() {
+			sc, err := NamedScenario("poisson", 45, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc.Rounds = rounds
+			sc.SampleEvery = 1
+			var obs discardObserver
+			if err := sc.RunObserver(&obs); err != nil {
+				t.Fatal(err)
+			}
+			if obs.samples != rounds {
+				t.Fatalf("observer saw %d samples for %d rounds", obs.samples, rounds)
+			}
+		}
+	}
+	const short, long = 400, 1200
+	base := testing.AllocsPerRun(3, run(short))
+	grown := testing.AllocsPerRun(3, run(long))
+	perRound := (grown - base) / float64(long-short)
+	if perRound > 1 {
+		t.Fatalf("streaming scenario run allocates %.2f objects per round beyond warm-up, want ≤ 1 amortized (short %.0f, long %.0f)",
+			perRound, base, grown)
+	}
+}
+
 // TestScenarioStepSampleZeroAlloc pins the tentpole guarantee: stepping a
 // churning swarm AND taking a time-series sample every round allocates
 // nothing once the swarm is warm (the scenario runner's series append is the

@@ -44,62 +44,65 @@ import (
 	"stratmatch/internal/rng"
 )
 
-// Options configures a swarm.
+// Options configures a swarm. The struct is plain data and round-trips
+// through JSON (the tags below are the ScenarioSpec wire names), so a
+// swarm configuration can live in a serialized scenario description.
 type Options struct {
 	// Leechers is the number of downloading peers.
-	Leechers int
+	Leechers int `json:"leechers"`
 	// Seeds is the number of initial seeds.
-	Seeds int
+	Seeds int `json:"seeds,omitempty"`
 	// Pieces is the number of pieces in the shared file.
-	Pieces int
+	Pieces int `json:"pieces"`
 	// PieceKbit is the size of one piece in kbit.
-	PieceKbit float64
+	PieceKbit float64 `json:"piece_kbit,omitempty"`
 	// UploadKbps maps each peer (leechers first, then seeds) to its upload
 	// capacity. If nil, every peer gets 400 kbps.
-	UploadKbps []float64
+	UploadKbps []float64 `json:"upload_kbps,omitempty"`
 	// TFTSlots is the number of Tit-for-Tat unchoke slots (BitTorrent
 	// default: 3).
-	TFTSlots int
+	TFTSlots int `json:"tft_slots,omitempty"`
 	// OptimisticSlots is the number of optimistic unchoke slots
 	// (BitTorrent default: 1).
-	OptimisticSlots int
+	OptimisticSlots int `json:"optimistic_slots,omitempty"`
 	// ChokeIntervalRounds is how often the TFT slots are re-evaluated
 	// (BitTorrent: every 10 s).
-	ChokeIntervalRounds int
+	ChokeIntervalRounds int `json:"choke_interval_rounds,omitempty"`
 	// OptimisticIntervalRounds is how often the optimistic slot rotates
 	// (BitTorrent: every 30 s).
-	OptimisticIntervalRounds int
+	OptimisticIntervalRounds int `json:"optimistic_interval_rounds,omitempty"`
 	// NeighborCount is the number of neighbors the tracker targets per peer
 	// (the paper's d): Announce hands out peers until the announcer holds
 	// this many connections.
-	NeighborCount int
+	NeighborCount int `json:"neighbor_count,omitempty"`
 	// MaxNeighbors caps a peer's degree (its CSR slot's edge capacity):
 	// incoming introductions stop once a peer is this well-connected. 0
 	// means 2·NeighborCount+8, mirroring the degree overshoot symmetric
 	// wiring produces. Must be at least NeighborCount.
-	MaxNeighbors int
+	MaxNeighbors int `json:"max_neighbors,omitempty"`
 	// MaxPeers preallocates CSR slots for this many concurrent peers so
 	// churn scenarios reach steady state without growth reallocation. 0
 	// means the initial population; the swarm grows by doubling beyond
-	// either value.
-	MaxPeers int
+	// either value. ScenarioSpec.Compile replaces a zero with an estimate
+	// of the arrival processes' expected peak.
+	MaxPeers int `json:"max_peers,omitempty"`
 	// PostFlashCrowd starts every leecher with each piece independently
 	// with probability 1/2, making content availability a non-issue — the
 	// paper's post-flash-crowd assumption. When false, leechers start
 	// empty (flash crowd).
-	PostFlashCrowd bool
+	PostFlashCrowd bool `json:"post_flash_crowd,omitempty"`
 	// MetricsWarmupRounds excludes TFT partner decisions before this round
 	// from the stratification metrics (the early intervals measure mixing
 	// noise, not Tit-for-Tat preference).
-	MetricsWarmupRounds int
+	MetricsWarmupRounds int `json:"metrics_warmup_rounds,omitempty"`
 	// ContentUnlimited switches the swarm to the paper's Section 6 regime:
 	// content availability is never a bottleneck, every leecher is always
 	// interested in every peer, and nobody finishes — only bandwidth and
 	// Tit-for-Tat matter. Piece bookkeeping is bypassed; rates and totals
 	// are still metered, making it the steady-state stratification probe.
-	ContentUnlimited bool
+	ContentUnlimited bool `json:"content_unlimited,omitempty"`
 	// Seed seeds the deterministic random source.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 }
 
 func (o *Options) withDefaults() Options {

@@ -12,25 +12,32 @@ import (
 // Churn runs the swarm simulator's dynamic-membership catalog — the regime
 // beyond the paper's fixed post-flash-crowd population, studied empirically
 // by Legout et al. and Al-Hamra et al.: a flash-crowd burst that forms and
-// drains, a Poisson steady state with abandonment and seed linger, and a
-// mass departure that the tracker's re-announce handouts must heal. Each
-// scenario runs several replicas; replicas fan out over Config.Workers with
-// per-replica seeds and slots, so results are byte-identical for any worker
-// count.
+// drains, a Poisson steady state with abandonment and seed linger, a mass
+// departure that the tracker's re-announce handouts must heal, a replayed
+// arrival trace, a seed-starvation regime, and capacity-correlated
+// abandonment. Every workload goes through the declarative ScenarioSpec
+// path — built as a spec, compiled, then run — so the experiment exercises
+// the same pipeline that serialized spec files use. Each scenario runs
+// several replicas; replicas fan out over Config.Workers with per-replica
+// seeds and slots, so results are byte-identical for any worker count.
 func Churn(cfg Config) (*Result, error) {
 	names := btsim.ScenarioNames()
 	const replicas = 3
 	runs := make([]*btsim.ScenarioResult, len(names)*replicas)
-	scales := make([]btsim.Scenario, len(names)*replicas)
-	for i := range scales {
-		sc, err := btsim.NamedScenario(names[i/replicas], cfg.Seed+uint64(i%replicas)*0x9e3779b9, cfg.scale())
+	specs := make([]btsim.ScenarioSpec, len(names)*replicas)
+	scens := make([]btsim.Scenario, len(names)*replicas)
+	for i := range specs {
+		spec, err := btsim.NamedSpec(names[i/replicas], cfg.Seed+uint64(i%replicas)*0x9e3779b9, cfg.scale())
 		if err != nil {
 			return nil, err
 		}
-		scales[i] = sc
+		specs[i] = spec
+		if scens[i], err = spec.Compile(); err != nil {
+			return nil, err
+		}
 	}
 	if err := par.ForEachErr(len(runs), cfg.Workers, func(i int) error {
-		res, err := scales[i].Run()
+		res, err := scens[i].Run()
 		runs[i] = res
 		return err
 	}); err != nil {
@@ -74,22 +81,22 @@ func Churn(cfg Config) (*Result, error) {
 	res.noteCheck(worstGap < 1e-9,
 		"flow conservation under churn: worst relative up/down gap %.2e", worstGap)
 
-	// perScenario resolves a scenario's replica runs and its config by
-	// name, so the checks below can never desynchronize from the catalog
-	// order.
-	perScenario := func(name string) ([]*btsim.ScenarioResult, btsim.Scenario) {
+	// perScenario resolves a scenario's replica runs and its spec/config
+	// by name, so the checks below can never desynchronize from the
+	// catalog order.
+	perScenario := func(name string) ([]*btsim.ScenarioResult, btsim.Scenario, btsim.ScenarioSpec) {
 		for si, n := range names {
 			if n == name {
-				return runs[si*replicas : (si+1)*replicas], scales[si*replicas]
+				return runs[si*replicas : (si+1)*replicas], scens[si*replicas], specs[si*replicas]
 			}
 		}
-		return nil, btsim.Scenario{}
+		return nil, btsim.Scenario{}, btsim.ScenarioSpec{}
 	}
 
 	// Flash crowd: the burst forms a crowd several times the initial
 	// population, and the crowd drains — most arrivals complete the file.
 	var peakRatio, drained []float64
-	flashRuns, flashSc := perScenario("flashcrowd")
+	flashRuns, flashSc, _ := perScenario("flashcrowd")
 	for _, run := range flashRuns {
 		initial := flashSc.Opt.Leechers + flashSc.Opt.Seeds
 		peak := 0
@@ -110,7 +117,7 @@ func Churn(cfg Config) (*Result, error) {
 
 	// Poisson steady state: continuous turnover with a live, bounded swarm.
 	var turnover, alive []float64
-	poissonRuns, _ := perScenario("poisson")
+	poissonRuns, _, _ := perScenario("poisson")
 	for _, run := range poissonRuns {
 		last := run.Series[len(run.Series)-1]
 		turnover = append(turnover, float64(run.TotalDeparted))
@@ -126,7 +133,7 @@ func Churn(cfg Config) (*Result, error) {
 	// Mass departure: the overlay heals (mean degree recovers towards the
 	// tracker target) and downloads keep completing afterwards.
 	var healedDeg, extraDone []float64
-	massRuns, massSc := perScenario("massdepart")
+	massRuns, massSc, _ := perScenario("massdepart")
 	for _, run := range massRuns {
 		last := run.Series[len(run.Series)-1]
 		healedDeg = append(healedDeg, last.MeanDegree/float64(massSc.Opt.NeighborCount))
@@ -145,6 +152,66 @@ func Churn(cfg Config) (*Result, error) {
 	res.noteCheck(stats.Summarize(extraDone).Mean > 0,
 		"downloads continue after the shock: %.1f completions past the event on average",
 		stats.Summarize(extraDone).Mean)
+
+	// Trace replay: the schedule is deterministic, so the membership flow
+	// is exact — every replica joins precisely initial + Σ counts peers.
+	traceRuns, traceSc, traceSpec := perScenario("tracereplay")
+	wantJoined := traceSc.Opt.Leechers + traceSc.Opt.Seeds
+	for _, c := range traceSpec.Arrivals[0].Counts {
+		wantJoined += c
+	}
+	traceExact := true
+	for _, run := range traceRuns {
+		if run.TotalJoined != wantJoined {
+			traceExact = false
+		}
+	}
+	res.noteCheck(traceExact,
+		"trace replay is exact: every replica joined precisely %d peers (initial + schedule)", wantJoined)
+
+	// Seed starvation: with InitialSeedsStay off the original content
+	// sources leave after their linger, yet the swarm keeps completing
+	// downloads off arrival-injected replicas.
+	starveRuns, starveSc, _ := perScenario("seedstarve")
+	seedsGone, starveDone := true, 0.0
+	for _, run := range starveRuns {
+		for id := starveSc.Opt.Leechers; id < starveSc.Opt.Leechers+starveSc.Opt.Seeds; id++ {
+			if !run.Final.Peers[id].Departed {
+				seedsGone = false
+			}
+		}
+		starveDone += float64(run.Final.CompletedLeechers) / float64(len(starveRuns))
+	}
+	res.noteCheck(seedsGone,
+		"seed starvation bites: every initial seed departed after its linger")
+	res.noteCheck(starveDone > 0,
+		"swarm survives starvation: %.1f completions per run off injected replicas", starveDone)
+
+	// Capacity-correlated abandonment: leechers that gave up mid-download
+	// must be drawn from the slow end of the capacity distribution.
+	quitRuns, _, _ := perScenario("slowquit")
+	var quitCap, stayCap []float64
+	for _, run := range quitRuns {
+		for _, pm := range run.Final.Peers {
+			if pm.IsSeed {
+				continue
+			}
+			if pm.Departed && !pm.Done {
+				quitCap = append(quitCap, pm.Capacity)
+			} else {
+				stayCap = append(stayCap, pm.Capacity)
+			}
+		}
+	}
+	if len(quitCap) > 0 && len(stayCap) > 0 {
+		mq, ms := stats.Summarize(quitCap).Mean, stats.Summarize(stayCap).Mean
+		res.noteCheck(mq < ms,
+			"abandonment is capacity-correlated: quitters average %.0f kbps vs %.0f for completers/stayers",
+			mq, ms)
+	} else {
+		res.noteCheck(false, "slowquit produced no abandonments to compare (%d quit, %d stayed)",
+			len(quitCap), len(stayCap))
+	}
 
 	// Stratification under churn (contextual): the paper's fixed-population
 	// correlation, measured live on the Poisson steady state.

@@ -69,7 +69,8 @@ func (sw *Swarm) Metrics() SwarmMetrics { return sw.s.Snapshot() }
 // See NewScenario's catalog for ready-made configurations.
 type (
 	// Scenario composes a swarm with churn processes into a named,
-	// reproducible experiment.
+	// reproducible experiment. Run materializes the full series;
+	// RunObserver streams it.
 	Scenario = btsim.Scenario
 	// ScenarioResult holds a scenario's time series and closing metrics.
 	ScenarioResult = btsim.ScenarioResult
@@ -85,18 +86,52 @@ type (
 	TraceArrivals = btsim.TraceArrivals
 	// CombinedArrivals sum several arrival processes.
 	CombinedArrivals = btsim.CombinedArrivals
-	// Departures are per-round lifecycle rules (abandonment, seed linger).
+	// Departures are per-round lifecycle rules (abandonment — uniform or
+	// capacity-correlated — and seed linger).
 	Departures = btsim.Departures
 	// Event is a scheduled one-shot membership shock.
 	Event = btsim.Event
 )
 
+// Declarative scenario specs: plain-data workload descriptions that
+// round-trip through JSON and compile into runnable Scenarios, plus the
+// streaming Observer the runner feeds.
+type (
+	// ScenarioSpec is a serializable scenario description; Compile turns
+	// it into a Scenario, Validate reports precise field-path errors.
+	ScenarioSpec = btsim.ScenarioSpec
+	// ArrivalSpec is the tagged union over arrival processes
+	// (poisson / burst / trace / combined).
+	ArrivalSpec = btsim.ArrivalSpec
+	// CapacitySpec is the tagged union over capacity distributions
+	// (saroiu / uniform / anchors).
+	CapacitySpec = btsim.CapacitySpec
+	// ScenarioObserver receives samples, events and the closing metrics
+	// as a scenario run produces them (Scenario.RunObserver).
+	ScenarioObserver = btsim.Observer
+	// ScenarioEvent is a discrete occurrence reported to observers.
+	ScenarioEvent = btsim.RunEvent
+)
+
 // ScenarioNames lists the built-in churn scenario catalog.
 func ScenarioNames() []string { return btsim.ScenarioNames() }
 
-// NewScenario builds a catalog scenario ("flashcrowd", "poisson",
-// "massdepart") at the given seed and population scale; run it with
-// Scenario.Run.
+// NewScenario builds a catalog scenario (see ScenarioNames: "flashcrowd",
+// "poisson", "massdepart", "tracereplay", "seedstarve", "slowquit") at the
+// given seed and population scale; run it with Scenario.Run or stream it
+// with Scenario.RunObserver. It is NewScenarioSpec followed by Compile.
 func NewScenario(name string, seed uint64, scale float64) (Scenario, error) {
 	return btsim.NamedScenario(name, seed, scale)
+}
+
+// NewScenarioSpec returns a catalog scenario as its declarative,
+// serializable spec — the form to dump, edit and reload.
+func NewScenarioSpec(name string, seed uint64, scale float64) (ScenarioSpec, error) {
+	return btsim.NamedSpec(name, seed, scale)
+}
+
+// ParseScenarioSpec decodes a JSON scenario spec (unknown fields are
+// rejected); compile it with ScenarioSpec.Compile.
+func ParseScenarioSpec(data []byte) (ScenarioSpec, error) {
+	return btsim.ParseSpec(data)
 }
