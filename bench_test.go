@@ -120,6 +120,12 @@ func BenchmarkGossip(b *testing.B) { benchExperiment(b, "gossip") }
 // tracker/churn subsystem.
 func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
 
+// BenchmarkFaults runs the fault-injection catalog (tracker outage with
+// lossy announces, partition bisect + heal, crash-stop wave with the
+// failure-detection sweep) — the robustness layer's cost and reconvergence
+// gate.
+func BenchmarkFaults(b *testing.B) { benchExperiment(b, "faults") }
+
 // BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
 // network of 5000 peers (not tied to a figure; the primitive every
 // experiment leans on).

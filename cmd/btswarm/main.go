@@ -9,6 +9,7 @@
 //	btswarm -replicas 16 -unlimited                      # parallel replica study
 //	btswarm -scenario poisson                            # dynamic membership
 //	btswarm -scenario massdepart -scenario-scale 2       # churn catalog, 2x size
+//	btswarm -scenario trackerdown -emit jsonl            # fault injection, streamed
 //	btswarm -dump-spec flashcrowd > flash.json           # catalog entry as JSON
 //	btswarm -spec flash.json -emit jsonl                 # run a spec file, stream JSONL
 //
@@ -92,12 +93,26 @@ func run(args []string) error {
 	}
 	if *listSc {
 		fmt.Println("churn scenario catalog:")
-		for _, name := range btsim.ScenarioNames() {
+		for _, name := range btsim.ChurnScenarioNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("fault-injection scenario catalog:")
+		for _, name := range btsim.FaultScenarioNames() {
 			fmt.Printf("  %s\n", name)
 		}
 		return nil
 	}
 	if *dumpSpec != "" {
+		// -dump-spec prints a spec and exits; combining it with a run mode
+		// would silently ignore the run, so it is an error instead.
+		switch {
+		case *specPath != "":
+			return fmt.Errorf("-dump-spec and -spec are mutually exclusive")
+		case *scenario != "":
+			return fmt.Errorf("-dump-spec and -scenario are mutually exclusive")
+		case *emit != "text":
+			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -emit %s", *emit)
+		}
 		spec, err := btsim.NamedSpec(*dumpSpec, *seed, *scScale)
 		if err != nil {
 			return err
@@ -264,7 +279,9 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool
 		return err
 	}
 	if emit == "jsonl" {
-		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout)}
+		// Fault counters only appear in the stream when the spec injects
+		// faults, so fault-free jsonl output stays byte-identical.
+		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout), withFaults: spec.HasFaults()}
 		if err := sc.RunObserver(em); err != nil {
 			return err
 		}
@@ -306,10 +323,13 @@ func (f jfloat) MarshalJSON() ([]byte, error) {
 
 // jsonlEmitter is the streaming Observer behind -emit jsonl: one JSON line
 // per sample ("sample"), per scenario event ("event"), and a closing
-// summary ("done"). It holds no series state.
+// summary ("done"). It holds no series state. withFaults extends samples
+// and the summary with the fault-injection counters; fault-free streams
+// keep the original shape byte for byte.
 type jsonlEmitter struct {
-	enc *json.Encoder
-	err error
+	enc        *json.Encoder
+	withFaults bool
+	err        error
 }
 
 func (e *jsonlEmitter) encode(v any) {
@@ -318,20 +338,24 @@ func (e *jsonlEmitter) encode(v any) {
 	}
 }
 
+// jsonlSample is the shared shape of a "sample" line; the fault-mode
+// variant below embeds it, so the fault-free field order is frozen.
+type jsonlSample struct {
+	Type       string    `json:"type"`
+	Round      int       `json:"round"`
+	Present    int       `json:"present"`
+	Leechers   int       `json:"leechers"`
+	Seeds      int       `json:"seeds"`
+	Joined     int       `json:"joined"`
+	Departed   int       `json:"departed"`
+	Completed  int       `json:"completed"`
+	MeanDegree jfloat    `json:"mean_degree"`
+	StratCorr  jfloat    `json:"strat_corr"`
+	ShareRatio [3]jfloat `json:"share_ratio_by_class"`
+}
+
 func (e *jsonlEmitter) OnSample(pt btsim.SeriesPoint) {
-	e.encode(struct {
-		Type       string    `json:"type"`
-		Round      int       `json:"round"`
-		Present    int       `json:"present"`
-		Leechers   int       `json:"leechers"`
-		Seeds      int       `json:"seeds"`
-		Joined     int       `json:"joined"`
-		Departed   int       `json:"departed"`
-		Completed  int       `json:"completed"`
-		MeanDegree jfloat    `json:"mean_degree"`
-		StratCorr  jfloat    `json:"strat_corr"`
-		ShareRatio [3]jfloat `json:"share_ratio_by_class"`
-	}{
+	row := jsonlSample{
 		Type: "sample", Round: pt.Round, Present: pt.Present,
 		Leechers: pt.Leechers, Seeds: pt.Seeds, Joined: pt.Joined,
 		Departed: pt.Departed, Completed: pt.Completed,
@@ -341,6 +365,20 @@ func (e *jsonlEmitter) OnSample(pt btsim.SeriesPoint) {
 			jfloat(pt.ShareRatioByClass[1]),
 			jfloat(pt.ShareRatioByClass[2]),
 		},
+	}
+	if !e.withFaults {
+		e.encode(row)
+		return
+	}
+	e.encode(struct {
+		jsonlSample
+		StaleEdges       int `json:"stale_edges"`
+		Crashed          int `json:"crashed"`
+		AnnounceFailures int `json:"announce_failures"`
+		AnnounceRetries  int `json:"announce_retries"`
+	}{
+		jsonlSample: row, StaleEdges: pt.StaleEdges, Crashed: pt.Crashed,
+		AnnounceFailures: pt.AnnounceFailures, AnnounceRetries: pt.AnnounceRetries,
 	})
 }
 
@@ -351,31 +389,45 @@ func (e *jsonlEmitter) OnEvent(ev btsim.RunEvent) {
 	}{Type: "event", RunEvent: ev})
 }
 
+// jsonlDone is the shared shape of the closing "done" line.
+type jsonlDone struct {
+	Type              string `json:"type"`
+	Round             int    `json:"round"`
+	Present           int    `json:"present"`
+	PresentSeeds      int    `json:"present_seeds"`
+	CompletedLeechers int    `json:"completed_leechers"`
+	TotalJoined       int    `json:"total_joined"`
+	TotalDeparted     int    `json:"total_departed"`
+	MeanCompletion    jfloat `json:"mean_completion_round"`
+	StratCorrelation  jfloat `json:"strat_correlation"`
+	MeanAbsRankOffset jfloat `json:"mean_abs_rank_offset"`
+}
+
 func (e *jsonlEmitter) OnDone(m btsim.Metrics) {
-	e.encode(struct {
-		Type              string `json:"type"`
-		Round             int    `json:"round"`
-		Present           int    `json:"present"`
-		PresentSeeds      int    `json:"present_seeds"`
-		CompletedLeechers int    `json:"completed_leechers"`
-		TotalJoined       int    `json:"total_joined"`
-		TotalDeparted     int    `json:"total_departed"`
-		MeanCompletion    jfloat `json:"mean_completion_round"`
-		StratCorrelation  jfloat `json:"strat_correlation"`
-		MeanAbsRankOffset jfloat `json:"mean_abs_rank_offset"`
-	}{
+	row := jsonlDone{
 		Type: "done", Round: m.Round, Present: m.Present,
 		PresentSeeds: m.PresentSeeds, CompletedLeechers: m.CompletedLeechers,
 		TotalJoined: len(m.Peers), TotalDeparted: m.TotalDeparted,
 		MeanCompletion:    jfloat(m.MeanCompletionRound),
 		StratCorrelation:  jfloat(m.StratCorrelation),
 		MeanAbsRankOffset: jfloat(m.MeanAbsRankOffset),
-	})
+	}
+	if !e.withFaults {
+		e.encode(row)
+		return
+	}
+	e.encode(struct {
+		jsonlDone
+		TotalCrashed int `json:"total_crashed"`
+	}{jsonlDone: row, TotalCrashed: m.TotalCrashed})
 }
 
 func report(m btsim.Metrics) {
 	fmt.Printf("rounds simulated:        %d\n", m.Round)
 	fmt.Printf("completed leechers:      %d\n", m.CompletedLeechers)
+	if m.TotalCrashed > 0 {
+		fmt.Printf("crash-stop failures:     %d (of %d departures)\n", m.TotalCrashed, m.TotalDeparted)
+	}
 	if !math.IsNaN(m.MeanCompletionRound) {
 		fmt.Printf("mean completion round:   %.1f\n", m.MeanCompletionRound)
 	}

@@ -186,7 +186,11 @@ func TestRunRejectsBadScenarioFlags(t *testing.T) {
 		{"-scenario", "poisson", "-spec", "whatever.json"},
 		{"-dump-spec", "nope"},
 		{"-leechers", "10", "-emit", "jsonl"}, // jsonl needs a scenario/spec run
-
+		// -dump-spec prints a spec and exits: combining it with a run mode
+		// must be a loud error, not a silently ignored flag.
+		{"-dump-spec", "flashcrowd", "-spec", "whatever.json"},
+		{"-dump-spec", "flashcrowd", "-scenario", "poisson"},
+		{"-dump-spec", "flashcrowd", "-emit", "jsonl"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -213,5 +217,72 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-leechers", "0"}); err == nil {
 		t.Fatal("0 leechers accepted")
+	}
+}
+
+// TestJsonlFaultStreams pins the fault-injection CLI contract: every fault
+// catalog entry streams deterministically (same seed ⇒ byte-identical
+// jsonl), samples carry the fault counters, and the closing summary carries
+// total_crashed.
+func TestJsonlFaultStreams(t *testing.T) {
+	for _, name := range btsim.FaultScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			args := []string{"-scenario", name, "-scenario-scale", "0.15", "-seed", "9", "-emit", "jsonl"}
+			out := captureStdout(t, func() error { return run(args) })
+			if again := captureStdout(t, func() error { return run(args) }); again != out {
+				t.Fatal("jsonl stream not byte-identical across identical runs")
+			}
+			lines := strings.Split(strings.TrimSpace(out), "\n")
+			var first, last map[string]any
+			if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := first["stale_edges"]; !ok {
+				t.Fatalf("fault-run sample lacks fault counters: %s", lines[0])
+			}
+			if _, ok := last["total_crashed"]; !ok || last["type"] != "done" {
+				t.Fatalf("fault-run summary lacks total_crashed: %s", lines[len(lines)-1])
+			}
+		})
+	}
+}
+
+// TestJsonlFaultFreeByteIdentical: a spec with an empty faults block must
+// stream byte-identically to the same spec without the block, and neither
+// stream may carry fault counters.
+func TestJsonlFaultFreeByteIdentical(t *testing.T) {
+	spec, err := btsim.NamedSpec("poisson", 4, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(sp btsim.ScenarioSpec, file string) string {
+		data, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), file)
+		if err := os.WriteFile(path, data, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	plainPath := write(spec, "plain.json")
+	spec.Faults = &btsim.FaultsSpec{}
+	zeroPath := write(spec, "zero.json")
+	stream := func(path string) string {
+		return captureStdout(t, func() error {
+			return run([]string{"-spec", path, "-emit", "jsonl"})
+		})
+	}
+	plain, zero := stream(plainPath), stream(zeroPath)
+	if plain != zero {
+		t.Fatal("an empty faults block changed the jsonl stream")
+	}
+	if strings.Contains(plain, "stale_edges") || strings.Contains(plain, "total_crashed") {
+		t.Fatal("fault-free stream carries fault counters")
 	}
 }

@@ -1,11 +1,12 @@
 // Churn example: declarative scenario specs and streaming observers. A
 // workload — Poisson arrivals plus a mid-run flash burst, capacity-biased
-// abandonment, and a scheduled mass departure — is described entirely in a
-// JSON spec file (spec.json, embedded; pass a path to run your own),
-// compiled into a runnable scenario, and consumed through the streaming
-// Observer API: the run samples every round, yet this program holds O(1)
-// series memory because the observer aggregates in place instead of
-// materializing the series.
+// abandonment, a scheduled mass departure, a tracker outage and a
+// crash-stop failure wave — is described entirely in a JSON spec file
+// (spec.json, embedded; pass a path to run your own), compiled into a
+// runnable scenario, and consumed through the streaming Observer API: the
+// run samples every round, yet this program holds O(1) series memory
+// because the observer aggregates in place instead of materializing the
+// series.
 package main
 
 import (
@@ -34,12 +35,18 @@ type watcher struct {
 	printEvery int
 	seen       int
 	peak       stratmatch.ScenarioPoint
+	last       stratmatch.ScenarioPoint
+	peakStale  int
 }
 
 func (w *watcher) OnSample(pt stratmatch.ScenarioPoint) {
 	if pt.Present > w.peak.Present {
 		w.peak = pt
 	}
+	if pt.StaleEdges > w.peakStale {
+		w.peakStale = pt.StaleEdges
+	}
+	w.last = pt
 	w.seen++
 	if w.seen%w.printEvery != 1 {
 		return
@@ -50,7 +57,14 @@ func (w *watcher) OnSample(pt stratmatch.ScenarioPoint) {
 }
 
 func (w *watcher) OnEvent(ev stratmatch.ScenarioEvent) {
-	fmt.Printf("  round %4d  ** %s: %d peers gone **\n", ev.Round, ev.Kind, ev.Departed)
+	switch ev.Kind {
+	case "shock", "crash":
+		fmt.Printf("  round %4d  ** %s: %d peers gone **\n", ev.Round, ev.Kind, ev.Departed)
+	case "partition":
+		fmt.Printf("  round %4d  ** partition: %d connections severed **\n", ev.Round, ev.Edges)
+	default: // tracker_down, tracker_up, partition_heal, drained
+		fmt.Printf("  round %4d  ** %s **\n", ev.Round, ev.Kind)
+	}
 }
 
 func (w *watcher) OnDone(m stratmatch.SwarmMetrics) {
@@ -77,6 +91,12 @@ func (w *watcher) OnDone(m stratmatch.SwarmMetrics) {
 		fmt.Printf("Abandonment was capacity-biased: %0.f quitters averaged %.0f kbps,\n"+
 			"the %0.f completers/stayers %.0f kbps.\n", quit, quitCap/quit, stay, stayCap/stay)
 	}
+	if m.TotalCrashed > 0 || w.last.AnnounceFailures > 0 {
+		fmt.Printf("Faults: %d crash-stop failures (peak %d stale connections awaiting\n"+
+			"detection, %d at the end); %d announces lost, %d backoff retries fired.\n",
+			m.TotalCrashed, w.peakStale, w.last.StaleEdges,
+			w.last.AnnounceFailures, w.last.AnnounceRetries)
+	}
 }
 
 func run() error {
@@ -96,6 +116,9 @@ func run() error {
 	}
 	fmt.Printf("Scenario %q (%s): %d rounds, %d arrival processes, %d scheduled events.\n",
 		spec.Name, src, spec.Rounds, len(spec.Arrivals), len(spec.Events))
+	if spec.HasFaults() {
+		fmt.Printf("Fault injection armed: %d scheduled faults.\n", len(spec.Faults.Injections))
+	}
 	if spec.Swarm.MaxPeers == 0 {
 		fmt.Printf("max_peers unset: compiling with an estimated peak of %d concurrent peers.\n",
 			spec.MaxPeersEstimate())

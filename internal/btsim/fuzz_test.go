@@ -1,0 +1,64 @@
+package btsim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec hammers the spec decoder with arbitrary JSON. The corpus is
+// the whole scenario catalog (fault specs included) plus a hand-rolled
+// faults block. Properties:
+//
+//   - ParseSpec never panics, whatever the bytes;
+//   - a spec that parses and validates must marshal, reparse and remarshal
+//     byte-stably (the serialization round-trip contract);
+//   - Compile on a valid spec never panics.
+//
+// CI runs this as a short -fuzztime smoke; longer local runs explore deeper.
+func FuzzParseSpec(f *testing.F) {
+	for _, name := range ScenarioNames() {
+		sp, err := NamedSpec(name, 3, 0.5)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := json.Marshal(sp)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte(`{"name":"x","rounds":50,"swarm":{"leechers":4,"pieces":8},
+		"faults":{"injections":[{"kind":"crash","rate":0.01},
+		{"kind":"partition","start":5,"rounds":10,"fraction":0.5}],
+		"retry_base_rounds":3,"watchdog":true}}`))
+	f.Add([]byte(`{"faults":{}}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := ParseSpec(data)
+		if err != nil {
+			return // rejected input: the only requirement is not panicking
+		}
+		if err := sp.Validate(); err != nil {
+			return
+		}
+		if _, err := sp.Compile(); err != nil {
+			t.Fatalf("spec validated but did not compile: %v", err)
+		}
+		blob, err := json.Marshal(sp)
+		if err != nil {
+			t.Fatalf("valid spec did not marshal: %v", err)
+		}
+		back, err := ParseSpec(blob)
+		if err != nil {
+			t.Fatalf("marshaled valid spec did not reparse: %v\n%s", err, blob)
+		}
+		blob2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("reparsed spec did not remarshal: %v", err)
+		}
+		if string(blob) != string(blob2) {
+			t.Fatalf("marshal not byte-stable:\n%s\n%s", blob, blob2)
+		}
+	})
+}

@@ -47,6 +47,9 @@ type Metrics struct {
 	// TotalDeparted counts the peers that ever left (len(Peers) is the
 	// total that ever joined), so observers need not rescan the roster.
 	TotalDeparted int
+	// TotalCrashed counts the departures that were crash-stop failures
+	// (a subset of TotalDeparted); 0 in fault-free runs.
+	TotalCrashed int
 	// MeanCompletionRound averages DoneRound over completed leechers that
 	// started incomplete (NaN if none).
 	MeanCompletionRound float64
@@ -73,6 +76,9 @@ func (s *Swarm) Snapshot() Metrics {
 	m := Metrics{
 		Round: s.round, Present: s.present, PresentSeeds: s.presentDone,
 		TotalDeparted: s.totalDeparted,
+	}
+	if s.flt != nil {
+		m.TotalCrashed = s.flt.totalCrashed
 	}
 	var (
 		ownRanks, partnerRanks []float64

@@ -32,11 +32,21 @@ type RunEvent struct {
 	// Round is the round at which the event fired.
 	Round int `json:"round"`
 	// Kind classifies the event:
-	//   - "shock":   a scheduled Event mass departure fired
-	//   - "drained": the present population just reached zero
+	//   - "shock":          a scheduled Event mass departure fired
+	//   - "drained":        the present population just reached zero
+	//   - "tracker_down":   a tracker outage window opened
+	//   - "tracker_up":     the tracker recovered
+	//   - "partition":      a partition split the roster (Edges cross-side
+	//     connections were severed)
+	//   - "partition_heal": the active partition healed
+	//   - "crash":          crash-stop failures killed Departed peers this
+	//     round
 	Kind string `json:"kind"`
-	// Departed is the number of peers the event removed (shocks only).
+	// Departed is the number of peers the event removed (shocks and
+	// crashes).
 	Departed int `json:"departed,omitempty"`
+	// Edges is the number of connections the event severed (partitions).
+	Edges int `json:"edges,omitempty"`
 }
 
 // seriesCollector is the Observer behind Scenario.Run: it materializes the

@@ -36,6 +36,11 @@ type Scenario struct {
 	Departures Departures
 	// Events are scheduled one-shot membership shocks.
 	Events []Event
+	// Faults is the deterministic fault-injection plan (tracker outages,
+	// crash-stop peers, announce loss, partitions) plus the engine's
+	// failure-handling knobs; nil (or a zero block) injects nothing and
+	// keeps the run byte-identical to a fault-free scenario.
+	Faults *FaultsSpec
 	// ReannounceInterval staggers under-connected peers' tracker
 	// re-announces (0: every 10 rounds, matching the choke interval).
 	ReannounceInterval int
@@ -83,6 +88,15 @@ type SeriesPoint struct {
 	// empty classes. The paper's Figure 11 structure — slow peers above
 	// 1, fast peers below — should hold under churn too.
 	ShareRatioByClass [3]float64
+	// Fault-injection telemetry, all zero in fault-free runs. StaleEdges
+	// is the live count of present peers' connections to crashed peers
+	// the failure-detection sweep has not yet retired (those halves still
+	// count in MeanDegree — staleness is visible overlay rot); Crashed,
+	// AnnounceFailures and AnnounceRetries are cumulative.
+	StaleEdges       int
+	Crashed          int
+	AnnounceFailures int
+	AnnounceRetries  int
 }
 
 // ScenarioResult is a completed scenario run.
@@ -157,6 +171,13 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
+	// The fault sub-stream splits off only when faults are present, so a
+	// fault-free scenario's churn and capacity streams — and therefore its
+	// whole output — stay byte-identical to earlier versions.
+	faultsOn := !sc.Faults.IsZero()
+	if faultsOn {
+		s.EnableFaults(*sc.Faults, base.Split())
+	}
 
 	sampleEvery := sc.sampleEvery()
 	reannounce := sc.ReannounceInterval
@@ -168,6 +189,9 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	var scratch []int32
 	alive := s.present > 0
 	for round := 0; round < sc.Rounds; round++ {
+		if faultsOn {
+			s.faultBeginRound(round, obs)
+		}
 		if sc.Arrivals != nil {
 			for k := sc.Arrivals.Arrivals(round, churnR); k > 0; k-- {
 				capKbps := 400.0
@@ -185,7 +209,15 @@ func (sc Scenario) RunObserver(obs Observer) error {
 		}
 		s.Step()
 		s.applyDepartures(sc.Departures, churnR, &scratch)
+		if faultsOn {
+			s.faultEndRound(round, obs)
+		}
 		s.ReannounceUnderConnected(reannounce)
+		if faultsOn && s.flt.watchdog {
+			if err := s.CheckInvariants(); err != nil {
+				return fmt.Errorf("scenario %s: round %d: %w", sc.Name, round, err)
+			}
+		}
 		switch {
 		case s.present == 0 && alive:
 			obs.OnEvent(RunEvent{Round: round, Kind: "drained"})
@@ -279,6 +311,12 @@ func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
 			ratioSum[cl] += p.totalDown / p.totalUp
 			ratioN[cl]++
 		}
+	}
+	if f := s.flt; f != nil {
+		pt.StaleEdges = f.staleEdges
+		pt.Crashed = f.totalCrashed
+		pt.AnnounceFailures = f.announceFailures
+		pt.AnnounceRetries = f.announceRetries
 	}
 	pt.StratCorr = sp.corr.Corr()
 	for cl := range pt.ShareRatioByClass {

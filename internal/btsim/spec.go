@@ -43,6 +43,12 @@ type ScenarioSpec struct {
 	Departures Departures `json:"departures"`
 	// Events are scheduled one-shot membership shocks.
 	Events []Event `json:"events,omitempty"`
+	// Faults is the deterministic fault-injection plan: tracker outages,
+	// crash-stop peer failures, announce loss and partitions, plus the
+	// retry/backoff and failure-detection knobs (see FaultsSpec). Nil or
+	// zero-valued, it injects nothing and the run stays byte-identical to
+	// a fault-free scenario.
+	Faults *FaultsSpec `json:"faults,omitempty"`
 	// ReannounceInterval staggers under-connected peers' tracker
 	// re-announces (0: every 10 rounds, matching the choke interval).
 	ReannounceInterval int `json:"reannounce_interval,omitempty"`
@@ -185,6 +191,11 @@ func (sp ScenarioSpec) Validate() error {
 		}
 		if ev.DepartFraction < 0 || ev.DepartFraction > 1 {
 			return sp.specErr(path+".depart_fraction", "must be in [0, 1], got %v", ev.DepartFraction)
+		}
+	}
+	if sp.Faults != nil {
+		if err := sp.Faults.validate(&sp); err != nil {
+			return err
 		}
 	}
 	if sp.ReannounceInterval < 0 {
@@ -342,12 +353,25 @@ func (sp ScenarioSpec) Compile() (Scenario, error) {
 	if sp.Capacity != nil {
 		sc.CapacityDist = sp.Capacity.compile()
 	}
+	// A zero-valued faults block is normalized away, so specs that carry
+	// `"faults": {}` run byte-identically to specs without the block.
+	if !sp.Faults.IsZero() {
+		sc.Faults = sp.Faults.clone()
+	}
 	if sc.Opt.MaxPeers == 0 {
 		if est := sp.MaxPeersEstimate(); est > sp.Swarm.Leechers+sp.Swarm.Seeds {
 			sc.Opt.MaxPeers = est
 		}
 	}
 	return sc, nil
+}
+
+// HasFaults reports whether compiling the spec yields a run with the fault
+// layer enabled — i.e. the faults block is present and not zero-valued.
+// Consumers that extend their output with fault counters (the btswarm jsonl
+// emitter) key off this so fault-free runs stay byte-identical.
+func (sp ScenarioSpec) HasFaults() bool {
+	return !sp.Faults.IsZero()
 }
 
 // compile assumes the spec validated.
@@ -472,6 +496,9 @@ func (sp ScenarioSpec) Scaled(f float64) ScenarioSpec {
 			out.Events[i] = ev
 		}
 	}
+	if sp.Faults != nil {
+		out.Faults = sp.Faults.scaled(f, out.Rounds)
+	}
 	return out
 }
 
@@ -519,9 +546,20 @@ func scaledTrace(counts []int, f float64) []int {
 	return out
 }
 
-// ScenarioNames lists the catalog in presentation order.
+// ScenarioNames lists the catalog in presentation order: the churn
+// scenarios first, then the fault-injection scenarios.
 func ScenarioNames() []string {
+	return append(ChurnScenarioNames(), FaultScenarioNames()...)
+}
+
+// ChurnScenarioNames lists the fault-free churn scenarios.
+func ChurnScenarioNames() []string {
 	return []string{"flashcrowd", "poisson", "massdepart", "tracereplay", "seedstarve", "slowquit"}
+}
+
+// FaultScenarioNames lists the fault-injection scenarios.
+func FaultScenarioNames() []string {
+	return []string{"trackerdown", "splitbrain", "crashcrowd"}
 }
 
 // NamedSpec builds the spec of one of the canonical churn scenarios at the
@@ -547,6 +585,17 @@ func ScenarioNames() []string {
 //   - slowquit: abandonment is capacity-correlated (AbandonRankBias):
 //     slow peers see crawling downloads and give up early, reshaping the
 //     capacity mix the share-ratio classes measure.
+//   - trackerdown: a Poisson steady state with lossy announces whose
+//     tracker goes dark for a long mid-run window — joiners arrive
+//     isolated and must retry with backoff until the tracker returns; the
+//     swarm has to survive the outage on its existing overlay.
+//   - splitbrain: a content-unlimited swarm is bisected by a network
+//     partition and later healed — the reconvergence probe for the
+//     paper's stratification (does the rank correlation recover?).
+//   - crashcrowd: peers fail crash-stop (no goodbye) at a steady rate for
+//     a window, leaving stale neighbor entries until the failure-detection
+//     sweep retires them; the stale-edge telemetry must drain to zero
+//     after the window.
 func NamedSpec(name string, seed uint64, scale float64) (ScenarioSpec, error) {
 	if scale <= 0 {
 		scale = 1
@@ -677,6 +726,78 @@ func NamedSpec(name string, seed uint64, scale float64) (ScenarioSpec, error) {
 				AbandonRankBias:  6, // the slowest present peer quits 7x as readily
 				SeedLingerRounds: 120,
 				InitialSeedsStay: true,
+			},
+		}, nil
+	case "trackerdown":
+		opt := base
+		opt.Leechers = n(40, 12)
+		opt.MaxPeers = 4 * opt.Leechers
+		return ScenarioSpec{
+			Name:     name,
+			Swarm:    opt,
+			Rounds:   n(1500, 800),
+			Arrivals: []ArrivalSpec{{Kind: "poisson", Rate: 0.4 * scale}},
+			Capacity: saroiu,
+			Departures: Departures{
+				AbandonPerRound:  0.0005,
+				SeedLingerRounds: 120,
+				InitialSeedsStay: true,
+			},
+			Faults: &FaultsSpec{
+				Injections: []FaultSpec{
+					// The tracker goes dark mid-run; a background announce
+					// loss keeps the retry machinery exercised outside the
+					// outage too.
+					{Kind: FaultTrackerOutage, Start: n(400, 150), Rounds: n(300, 120)},
+					{Kind: FaultAnnounceLoss, Rate: 0.10},
+				},
+			},
+		}, nil
+	case "splitbrain":
+		opt := base
+		opt.Leechers = n(60, 20)
+		opt.MaxPeers = 2 * opt.Leechers
+		// Content-unlimited: the paper's Section 6 regime, where the
+		// stratification signal is purest — the partition's damage and the
+		// post-heal reconvergence show up directly in StratCorr.
+		opt.ContentUnlimited = true
+		return ScenarioSpec{
+			Name:     name,
+			Swarm:    opt,
+			Rounds:   n(1200, 600),
+			Arrivals: []ArrivalSpec{{Kind: "poisson", Rate: 0.1 * scale}},
+			Capacity: saroiu,
+			Departures: Departures{
+				AbandonPerRound: 0.0005,
+			},
+			Faults: &FaultsSpec{
+				Injections: []FaultSpec{
+					{Kind: FaultPartition, Start: n(400, 150), Rounds: n(300, 120), Fraction: 0.5},
+				},
+			},
+		}, nil
+	case "crashcrowd":
+		opt := base
+		opt.Leechers = n(50, 16)
+		opt.Seeds = 3
+		opt.MaxPeers = 4 * opt.Leechers
+		return ScenarioSpec{
+			Name:     name,
+			Swarm:    opt,
+			Rounds:   n(1200, 600),
+			Arrivals: []ArrivalSpec{{Kind: "poisson", Rate: 0.35 * scale}},
+			Capacity: saroiu,
+			Departures: Departures{
+				SeedLingerRounds: 150,
+				InitialSeedsStay: true,
+			},
+			Faults: &FaultsSpec{
+				Injections: []FaultSpec{
+					// The crash window ends well before the horizon, so the
+					// failure-detection sweep must drain StaleEdges to zero
+					// by the final sample.
+					{Kind: FaultCrash, Start: n(150, 60), Rounds: n(450, 200), Rate: 0.002},
+				},
 			},
 		}, nil
 	}

@@ -17,6 +17,9 @@ func (s *Swarm) Step() {
 			continue
 		}
 		p := &s.peers[id]
+		if p.departed {
+			continue // crash-stop: a dead peer takes no protocol actions
+		}
 		if (s.round+p.id)%s.opt.ChokeIntervalRounds == 0 {
 			s.rechokePeer(p)
 		}
@@ -71,6 +74,11 @@ func (s *Swarm) Depart(id int) {
 		e := base + s.deg[sl] - 1 // unwire p's edges from the back
 		q := &s.peers[s.nbr[e]]
 		er := s.rev[e] // q's edge back to p
+		if q.departed && s.flt != nil {
+			// p held a stale edge to a crashed, not-yet-swept neighbor;
+			// p's leaving retires it before the timeout sweep would.
+			s.flt.staleEdges--
+		}
 		s.availSub(q.slot, p.have)
 		s.removeEdgeHalf(q, er)
 		s.deg[sl]--
@@ -109,6 +117,106 @@ func (s *Swarm) Depart(id int) {
 	s.freeSlots = append(s.freeSlots, sl)
 	s.havePool = append(s.havePool, p.have)
 	p.have = bitset{}
+}
+
+// Crash removes a peer abruptly (crash-stop): it leaves the tracker and the
+// membership counters at once, but — unlike Depart — nobody is told, so its
+// connections are NOT unwired. Neighbors keep stale edges to the dead peer
+// (counted in the fault telemetry) until the failure-detection sweep times
+// them out; the crashed peer keeps its CSR slot, edge block and bitfield
+// until then. Crash requires an armed fault layer and is a no-op for
+// departed or out-of-range ids.
+func (s *Swarm) Crash(id int) {
+	if s.flt == nil || id < 0 || id >= len(s.peers) || s.peers[id].departed {
+		return
+	}
+	f := s.flt
+	p := &s.peers[id]
+	sl := p.slot
+	// Stale-edge accounting: every present neighbor's half towards p goes
+	// stale; p's own halves towards already-crashed neighbors stop counting
+	// (their owner is no longer present).
+	base := sl * s.edgeCap
+	for e := base; e < base+s.deg[sl]; e++ {
+		if s.peers[s.nbr[e]].departed {
+			f.staleEdges--
+		} else {
+			f.staleEdges++
+		}
+	}
+	s.liveDegSum -= int64(s.deg[sl]) // p's own halves leave the present sum
+	p.optimistic = -1
+	p.departed = true
+	p.departRound = s.round
+	if p.done {
+		s.presentDone--
+	}
+	s.present--
+	s.totalDeparted++
+	s.trackerUnregister(id)
+	// Present peers ranked below the crasher shift up one, exactly as in a
+	// graceful departure; p keeps the rank it held.
+	pr := s.rank[id]
+	for _, j := range s.trk.present {
+		if s.rank[j] > pr {
+			s.rank[j]--
+		}
+	}
+	f.totalCrashed++
+	f.crashq = append(f.crashq, int32(id))
+}
+
+// sweepCrashed is the failure-detection pass: once a crashed peer has been
+// silent for the neighbor timeout, every surviving neighbor notices the
+// dead connection at once (all their timers started at the crash) and
+// drops it. This is the deferred half of Depart: the stale edges are
+// unwired, the slot's availability and progress rows are cleared, and the
+// slot and bitfield are recycled. The crash queue is in crash order, so the
+// scan stops at the first entry still within the timeout.
+func (s *Swarm) sweepCrashed() {
+	f := s.flt
+	for f.crashHead < len(f.crashq) {
+		id := f.crashq[f.crashHead]
+		p := &s.peers[id]
+		if s.round-p.departRound < f.timeout {
+			break
+		}
+		f.crashHead++
+		sl := p.slot
+		base := sl * s.edgeCap
+		for s.deg[sl] > 0 {
+			e := base + s.deg[sl] - 1
+			q := &s.peers[s.nbr[e]]
+			er := s.rev[e]
+			s.availSub(q.slot, p.have)
+			s.removeEdgeHalf(q, er)
+			s.deg[sl]--
+			if !q.departed {
+				f.staleEdges--
+			}
+		}
+		pbase := int(sl) * s.opt.Pieces
+		for i := pbase; i < pbase+s.opt.Pieces; i++ {
+			s.pieceProgress[i] = 0
+			s.avail[i] = 0
+		}
+		p.slot = -1
+		s.slotPeer[sl] = -1
+		s.freeSlots = append(s.freeSlots, sl)
+		s.havePool = append(s.havePool, p.have)
+		p.have = bitset{}
+	}
+	switch {
+	case f.crashHead == len(f.crashq):
+		f.crashq = f.crashq[:0]
+		f.crashHead = 0
+	case f.crashHead > 64 && 2*f.crashHead > len(f.crashq):
+		// Compact the swept prefix away so a long crash window cannot grow
+		// the queue without bound.
+		n := copy(f.crashq, f.crashq[f.crashHead:])
+		f.crashq = f.crashq[:n]
+		f.crashHead = 0
+	}
 }
 
 // wantsAlong reports whether peer v wants data from peer u, where e is v's
@@ -254,8 +362,8 @@ func (s *Swarm) transfer() {
 			continue
 		}
 		u := &s.peers[id]
-		if u.capacity <= 0 {
-			continue
+		if u.departed || u.capacity <= 0 {
+			continue // crashed occupants hold their slot but move no data
 		}
 		na := 0
 		base := int32(sl) * s.edgeCap

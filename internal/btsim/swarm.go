@@ -234,6 +234,11 @@ type Swarm struct {
 
 	trk tracker
 
+	// flt is the fault-injection state (see faults.go); nil on a fault-free
+	// swarm, and every fault hook hides behind that nil check so the
+	// fault-free path is byte-identical to earlier versions.
+	flt *faultState
+
 	// Scratch buffers (sized to the per-slot edge capacity / piece count)
 	// reused by every call on the stepping hot path — Step never allocates.
 	candE    []int32
@@ -453,6 +458,9 @@ func (s *Swarm) Join(capacityKbps float64, asSeed bool) int {
 	}
 	s.slotPeer[sl] = int32(id)
 	s.present++
+	if s.flt != nil {
+		s.flt.slotJoined(sl)
+	}
 
 	// Rank insertion among the present population: the newcomer slots in
 	// at its capacity position and everyone at or below shifts down one.
@@ -519,6 +527,9 @@ func (s *Swarm) grow() {
 	for sl := s.slotCap - 1; sl >= old; sl-- {
 		s.freeSlots = append(s.freeSlots, int32(sl))
 	}
+	if s.flt != nil {
+		s.flt.growFaults(s.slotCap)
+	}
 }
 
 // addEdge wires a symmetric connection between two present peers, seeding
@@ -566,7 +577,11 @@ func (s *Swarm) removeEdgeHalf(q *peer, er int32) {
 		}
 	}
 	s.deg[qsl]--
-	s.liveDegSum--
+	// liveDegSum tracks present peers only; a crashed peer's halves left
+	// the sum when it crashed, so unwiring them later must not re-subtract.
+	if !q.departed {
+		s.liveDegSum--
+	}
 }
 
 // hasEdge reports whether peer a already has a connection to peer id b.

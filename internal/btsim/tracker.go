@@ -35,11 +35,24 @@ func (s *Swarm) trackerUnregister(id int) {
 // Introductions are symmetric — both sides learn each other, like a real
 // tracker response followed by a handshake. The number of connections added
 // is returned. Announce is a no-op for departed or out-of-range ids.
+//
+// With the fault layer armed, an announce fails outright during a tracker
+// outage (consuming no randomness) and is dropped with the current loss
+// probability otherwise; failures schedule a jittered exponential-backoff
+// retry (see faultState.announceFailed). While a partition is active the
+// handout only introduces peers on the announcer's side.
 func (s *Swarm) Announce(id int) int {
 	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
 		return 0
 	}
 	p := &s.peers[id]
+	if f := s.flt; f != nil {
+		if f.trackerDown || (f.lossRate > 0 && f.r.Bool(f.lossRate)) {
+			f.announceFailed(p.slot, s.round)
+			return 0
+		}
+		f.announceOK(p.slot)
+	}
 	need := s.opt.NeighborCount - int(s.deg[p.slot])
 	// Every neighbor is present, so the announcer can add at most the
 	// present peers it is not yet connected to — without this cap a peer
@@ -64,6 +77,9 @@ func (s *Swarm) Announce(id int) int {
 			continue
 		}
 		q := &s.peers[cand]
+		if f := s.flt; f != nil && f.partitionOn && f.side[q.slot] != f.side[p.slot] {
+			continue // the tracker cannot reach across an active partition
+		}
 		if s.deg[q.slot] >= s.edgeCap || s.hasEdge(p, int(cand)) {
 			continue
 		}
@@ -90,6 +106,9 @@ func (s *Swarm) ReannounceUnderConnected(interval int) int {
 		id := int(s.trk.present[i])
 		if interval > 1 && (s.round+id)%interval != 0 {
 			continue
+		}
+		if f := s.flt; f != nil && f.retryAt[s.peers[id].slot] >= 0 {
+			continue // in announce backoff; the retry pass owns the schedule
 		}
 		if int(s.deg[s.peers[id].slot]) < target {
 			added += s.Announce(id)

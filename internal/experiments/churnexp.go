@@ -21,7 +21,7 @@ import (
 // several replicas; replicas fan out over Config.Workers with per-replica
 // seeds and slots, so results are byte-identical for any worker count.
 func Churn(cfg Config) (*Result, error) {
-	names := btsim.ScenarioNames()
+	names := btsim.ChurnScenarioNames()
 	const replicas = 3
 	runs := make([]*btsim.ScenarioResult, len(names)*replicas)
 	specs := make([]btsim.ScenarioSpec, len(names)*replicas)

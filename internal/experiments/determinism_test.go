@@ -16,7 +16,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	// Every experiment that fans out internally, plus fig9 (Monte-Carlo
 	// sharding) and fig6/tab1 (cluster sweeps).
-	ids := []string{"fig1", "fig2", "fig3", "thm1", "strategies", "ties", "slots", "fluid", "fig9", "fig6", "tab1", "churn"}
+	ids := []string{"fig1", "fig2", "fig3", "thm1", "strategies", "ties", "slots", "fluid", "fig9", "fig6", "tab1", "churn", "faults"}
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {

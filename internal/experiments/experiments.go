@@ -132,6 +132,7 @@ var registry = map[string]registration{
 	"combo":      {"Extension: combined bandwidth + latency overlays (conclusion's proposal)", Combo},
 	"gossip":     {"Extension: gossip-based rank discovery feeding the matching", Gossip},
 	"churn":      {"Extension: dynamic swarm membership — flash crowd, Poisson steady state, mass-departure healing", Churn},
+	"faults":     {"Robustness: fault injection — tracker outage, partition reconvergence, crash-stop sweeps", Faults},
 }
 
 // IDs lists all experiment identifiers in stable order.

@@ -111,15 +111,32 @@ type (
 	ScenarioObserver = btsim.Observer
 	// ScenarioEvent is a discrete occurrence reported to observers.
 	ScenarioEvent = btsim.RunEvent
+	// FaultsSpec is the fault-injection arm of a ScenarioSpec: scheduled
+	// fault windows plus retry/backoff and failure-detection knobs. A zero
+	// block injects nothing and leaves the run byte-identical to a
+	// fault-free scenario.
+	FaultsSpec = btsim.FaultsSpec
+	// FaultSpec is one scheduled fault: a tagged union over tracker
+	// outages, crash-stop failures, announce loss and partitions.
+	FaultSpec = btsim.FaultSpec
 )
 
-// ScenarioNames lists the built-in churn scenario catalog.
+// ScenarioNames lists the whole built-in scenario catalog (churn entries
+// first, then the fault-injection entries).
 func ScenarioNames() []string { return btsim.ScenarioNames() }
 
-// NewScenario builds a catalog scenario (see ScenarioNames: "flashcrowd",
-// "poisson", "massdepart", "tracereplay", "seedstarve", "slowquit") at the
-// given seed and population scale; run it with Scenario.Run or stream it
-// with Scenario.RunObserver. It is NewScenarioSpec followed by Compile.
+// ChurnScenarioNames lists the fault-free churn catalog entries.
+func ChurnScenarioNames() []string { return btsim.ChurnScenarioNames() }
+
+// FaultScenarioNames lists the fault-injection catalog entries.
+func FaultScenarioNames() []string { return btsim.FaultScenarioNames() }
+
+// NewScenario builds a catalog scenario (see ScenarioNames: the churn
+// entries "flashcrowd", "poisson", "massdepart", "tracereplay",
+// "seedstarve", "slowquit" and the fault-injection entries "trackerdown",
+// "splitbrain", "crashcrowd") at the given seed and population scale; run
+// it with Scenario.Run or stream it with Scenario.RunObserver. It is
+// NewScenarioSpec followed by Compile.
 func NewScenario(name string, seed uint64, scale float64) (Scenario, error) {
 	return btsim.NamedScenario(name, seed, scale)
 }
