@@ -126,6 +126,31 @@ func BenchmarkChurn(b *testing.B) { benchExperiment(b, "churn") }
 // gate.
 func BenchmarkFaults(b *testing.B) { benchExperiment(b, "faults") }
 
+// benchSwarmStep times one engine round of a content-unlimited steady-state
+// swarm with the telemetry recorder detached or attached. The Off/On pair
+// in BENCH_results.json is the telemetry overhead differential: the enabled
+// gap must stay small (<5%), and the disabled path is additionally pinned
+// allocation-free by internal/btsim's alloc tests.
+func benchSwarmStep(b *testing.B, tel *Telemetry) {
+	sw, err := NewSwarm(SwarmOptions{
+		Leechers: 300, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 20, Seed: 33,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw.SetTelemetry(tel)
+	sw.Run(20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Run(1)
+	}
+}
+
+func BenchmarkSwarmStepTelemetryOff(b *testing.B) { benchSwarmStep(b, nil) }
+func BenchmarkSwarmStepTelemetryOn(b *testing.B)  { benchSwarmStep(b, NewTelemetry()) }
+
 // BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
 // network of 5000 peers (not tied to a figure; the primitive every
 // experiment leans on).

@@ -31,18 +31,28 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime/trace"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"stratmatch/internal/bandwidth"
 	"stratmatch/internal/btsim"
 	"stratmatch/internal/par"
 	"stratmatch/internal/rng"
 	"stratmatch/internal/stats"
+	"stratmatch/internal/telemetry"
 )
 
 func main() {
@@ -77,6 +87,9 @@ func run(args []string) error {
 		specPath  = fs.String("spec", "", "load and run a JSON scenario spec from this file (use /dev/stdin to pipe)")
 		dumpSpec  = fs.String("dump-spec", "", "print the named catalog scenario as a JSON spec and exit")
 		emit      = fs.String("emit", "text", "scenario output format: text (series table + report) or jsonl (stream samples/events/summary as JSON lines)")
+		telFlag   = fs.Bool("telemetry", false, "record runtime telemetry (phase durations, counters, gauges); jsonl runs emit telemetry records, text runs print a summary to stderr")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address while running (implies -telemetry)")
+		tracePath = fs.String("trace", "", "write a runtime/trace with per-phase user regions to this file, for go tool trace (implies -telemetry)")
 		verbose   = fs.Bool("v", false, "verbose: note auto-sized preallocation and other diagnostics on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +103,14 @@ func run(args []string) error {
 	}
 	if *emit != "text" && *emit != "jsonl" {
 		return fmt.Errorf("-emit %q: must be text or jsonl", *emit)
+	}
+	// -debug-addr and -trace are useless without a recorder, so they imply
+	// -telemetry. The recorder is nil when telemetry is off; every hook in
+	// the engine no-ops on nil, and recording never touches the RNG or
+	// simulation state, so outputs are byte-identical either way.
+	var tel *telemetry.Recorder
+	if *telFlag || *debugAddr != "" || *tracePath != "" {
+		tel = telemetry.New()
 	}
 	if *listSc {
 		fmt.Println("churn scenario catalog:")
@@ -112,6 +133,8 @@ func run(args []string) error {
 			return fmt.Errorf("-dump-spec and -scenario are mutually exclusive")
 		case *emit != "text":
 			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -emit %s", *emit)
+		case tel != nil:
+			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -telemetry, -debug-addr or -trace")
 		}
 		spec, err := btsim.NamedSpec(*dumpSpec, *seed, *scScale)
 		if err != nil {
@@ -127,6 +150,36 @@ func run(args []string) error {
 	if *specPath != "" && *scenario != "" {
 		return fmt.Errorf("-spec and -scenario are mutually exclusive")
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+		// Phase spans become trace user regions under a per-run task, so
+		// go tool trace groups choke vs transfer vs fault-sweep time.
+		ctx, task := trace.NewTask(context.Background(), "btswarm")
+		defer task.End()
+		tel.EnableTraceRegions(ctx)
+	}
+	if *debugAddr != "" {
+		_, stop, err := startDebugServer(*debugAddr, tel)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	// The worker pool is process-global, so the recorder is attached for the
+	// whole run (and detached on return — tests drive run() repeatedly).
+	par.SetTelemetry(tel)
+	defer par.SetTelemetry(nil)
 	if *specPath != "" {
 		data, err := os.ReadFile(*specPath)
 		if err != nil {
@@ -144,14 +197,14 @@ func run(args []string) error {
 				spec.Swarm.Seed = *seed
 			}
 		})
-		return runSpec(spec, *scSample, *emit, *verbose)
+		return runSpec(spec, *scSample, *emit, *verbose, tel)
 	}
 	if *scenario != "" {
 		spec, err := btsim.NamedSpec(*scenario, *seed, *scScale)
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, *scSample, *emit, *verbose)
+		return runSpec(spec, *scSample, *emit, *verbose, tel)
 	}
 	if *emit != "text" {
 		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emit)
@@ -206,6 +259,7 @@ func run(args []string) error {
 		if err != nil {
 			return btsim.Metrics{}, err
 		}
+		s.SetTelemetry(tel)
 		if *untilDone {
 			if !s.RunUntilDone(*rounds * 100) {
 				fmt.Println("WARNING: swarm did not complete within the round budget")
@@ -222,6 +276,7 @@ func run(args []string) error {
 			return err
 		}
 		report(m)
+		reportTelemetry(tel)
 		return nil
 	}
 
@@ -258,14 +313,77 @@ func run(args []string) error {
 	}
 	fmt.Println("\n--- replica 0 ---")
 	report(metrics[0])
+	reportTelemetry(tel)
 	return nil
+}
+
+// reportTelemetry prints a closing telemetry summary to stderr — stderr so
+// the structured stdout output (report tables, jsonl) stays clean.
+func reportTelemetry(tel *telemetry.Recorder) {
+	if tel == nil {
+		return
+	}
+	writeTelemetryText(os.Stderr, tel.Snapshot())
+}
+
+// writeTelemetryText renders a snapshot as an indented text block.
+func writeTelemetryText(w io.Writer, snap telemetry.Snapshot) {
+	fmt.Fprintln(w, "telemetry:")
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "  %-32s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "  %-32s %d\n", g.Name, g.Value)
+	}
+	for _, p := range snap.Phases {
+		mean := float64(p.SumNs) / float64(p.Count) / 1e6
+		fmt.Fprintf(w, "  phase %-26s %d calls, %.3f ms total, %.4f ms mean\n",
+			p.Name, p.Count, float64(p.SumNs)/1e6, mean)
+	}
+}
+
+// expvarRec holds the recorder the published expvar reads. expvar.Publish
+// panics on duplicate names and the CLI's run() is re-entered by tests, so
+// the variable is published once and re-pointed per run.
+var (
+	expvarRec  atomic.Pointer[telemetry.Recorder]
+	expvarOnce sync.Once
+)
+
+// startDebugServer binds the opt-in debug listener: Prometheus exposition
+// on /metrics, the telemetry snapshot as an expvar on /debug/vars, and the
+// standard pprof handlers on /debug/pprof/. It returns the bound address
+// (addr may carry port 0) and a shutdown func.
+func startDebugServer(addr string, tel *telemetry.Recorder) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("-debug-addr %s: %w", addr, err)
+	}
+	expvarRec.Store(tel)
+	expvarOnce.Do(func() {
+		expvar.Publish("btswarm_telemetry", expvar.Func(func() any {
+			return expvarRec.Load().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", tel.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "btswarm: debug listener on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", ln.Addr())
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
 // runSpec compiles a scenario spec and runs it. Text mode materializes the
 // series and prints the classic table; jsonl mode streams every sample,
 // event and the closing summary through the Observer API — no
 // materialization, so dense sampling over long horizons is O(1) memory.
-func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool) error {
+func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool, tel *telemetry.Recorder) error {
 	if sampleEvery > 0 {
 		spec.SampleEvery = sampleEvery
 	}
@@ -278,9 +396,14 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool
 	if err != nil {
 		return err
 	}
+	// Telemetry is runtime-only, attached after Compile: it is not part of
+	// the scenario definition and never changes simulation output.
+	sc.Telemetry = tel
 	if emit == "jsonl" {
 		// Fault counters only appear in the stream when the spec injects
-		// faults, so fault-free jsonl output stays byte-identical.
+		// faults, so fault-free jsonl output stays byte-identical; telemetry
+		// records are separate lines, leaving sample/event/done rows
+		// untouched.
 		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout), withFaults: spec.HasFaults()}
 		if err := sc.RunObserver(em); err != nil {
 			return err
@@ -291,6 +414,7 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool
 	if err != nil {
 		return err
 	}
+	defer reportTelemetry(tel)
 	fmt.Printf("scenario:                %s (seed %d)\n", res.Name, spec.Swarm.Seed)
 	fmt.Printf("peers ever joined:       %d\n", res.TotalJoined)
 	fmt.Printf("peers departed:          %d\n", res.TotalDeparted)
@@ -380,6 +504,17 @@ func (e *jsonlEmitter) OnSample(pt btsim.SeriesPoint) {
 		jsonlSample: row, StaleEdges: pt.StaleEdges, Crashed: pt.Crashed,
 		AnnounceFailures: pt.AnnounceFailures, AnnounceRetries: pt.AnnounceRetries,
 	})
+}
+
+// OnTelemetry emits a "telemetry" line after each sample on telemetry-on
+// runs (the runner never calls it otherwise, so telemetry-off streams are
+// byte-identical to earlier versions).
+func (e *jsonlEmitter) OnTelemetry(round int, snap btsim.TelemetrySnapshot) {
+	e.encode(struct {
+		Type  string `json:"type"`
+		Round int    `json:"round"`
+		btsim.TelemetrySnapshot
+	}{Type: "telemetry", Round: round, TelemetrySnapshot: snap})
 }
 
 func (e *jsonlEmitter) OnEvent(ev btsim.RunEvent) {

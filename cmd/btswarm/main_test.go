@@ -191,6 +191,11 @@ func TestRunRejectsBadScenarioFlags(t *testing.T) {
 		{"-dump-spec", "flashcrowd", "-spec", "whatever.json"},
 		{"-dump-spec", "flashcrowd", "-scenario", "poisson"},
 		{"-dump-spec", "flashcrowd", "-emit", "jsonl"},
+		// -dump-spec runs no simulation, so asking it to record telemetry
+		// (directly or via the flags that imply it) is a contradiction.
+		{"-dump-spec", "flashcrowd", "-telemetry"},
+		{"-dump-spec", "flashcrowd", "-debug-addr", "127.0.0.1:0"},
+		{"-dump-spec", "flashcrowd", "-trace", "out.trace"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

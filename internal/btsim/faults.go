@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stratmatch/internal/rng"
+	"stratmatch/internal/telemetry"
 )
 
 // Fault kinds for FaultSpec.Kind.
@@ -383,12 +384,14 @@ func (s *Swarm) faultBeginRound(round int, obs Observer) {
 		if down {
 			kind = "tracker_down"
 		}
+		s.tel.Inc(telemetry.CtrEvents)
 		obs.OnEvent(RunEvent{Round: round, Kind: kind})
 	}
 	f.lossRate = loss
 	if partition != f.partIdx {
 		if f.partIdx >= 0 {
 			f.partitionOn = false
+			s.tel.Inc(telemetry.CtrEvents)
 			obs.OnEvent(RunEvent{Round: round, Kind: "partition_heal"})
 		}
 		if partition >= 0 {
@@ -402,6 +405,7 @@ func (s *Swarm) faultBeginRound(round int, obs Observer) {
 				}
 			}
 			cut := s.cutPartition()
+			s.tel.Inc(telemetry.CtrEvents)
 			obs.OnEvent(RunEvent{Round: round, Kind: "partition", Edges: cut})
 		}
 		f.partIdx = partition
@@ -464,6 +468,7 @@ func (s *Swarm) faultEndRound(round int, obs Observer) {
 			s.Crash(int(id))
 		}
 		if len(doomed) > 0 {
+			s.tel.Inc(telemetry.CtrEvents)
 			obs.OnEvent(RunEvent{Round: round, Kind: "crash", Departed: len(doomed)})
 		}
 	}
@@ -476,6 +481,7 @@ func (s *Swarm) faultEndRound(round int, obs Observer) {
 		if at := f.retryAt[sl]; at >= 0 && at <= int32(round) {
 			f.retryAt[sl] = -1
 			f.announceRetries++
+			s.tel.Inc(telemetry.CtrAnnounceRetries)
 			s.Announce(int(id))
 		}
 	}

@@ -1,5 +1,7 @@
 package btsim
 
+import "stratmatch/internal/telemetry"
+
 // Observer receives a scenario's output as the run produces it. The
 // streaming contract:
 //
@@ -25,6 +27,24 @@ type Observer interface {
 	OnSample(SeriesPoint)
 	OnEvent(RunEvent)
 	OnDone(Metrics)
+}
+
+// TelemetrySnapshot is a point-in-time flush of the run's telemetry
+// recorder: cumulative counters, current gauges and per-phase duration
+// histograms (see internal/telemetry).
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryObserver is the optional extension an Observer may implement to
+// receive runtime telemetry. When the scenario has a Telemetry recorder
+// attached and the observer implements this interface, OnTelemetry is
+// called immediately after each OnSample (same round, same goroutine) with
+// a fresh snapshot of the recorder. Observers that do not implement it —
+// or runs without a recorder — see the exact same OnSample/OnEvent/OnDone
+// stream either way: telemetry is read-only instrumentation and never
+// changes simulation output.
+type TelemetryObserver interface {
+	Observer
+	OnTelemetry(round int, snap TelemetrySnapshot)
 }
 
 // RunEvent is a discrete scenario occurrence reported to observers.
@@ -61,7 +81,9 @@ func (c *seriesCollector) OnSample(pt SeriesPoint) {
 	c.res.Series = append(c.res.Series, pt)
 }
 
-func (c *seriesCollector) OnEvent(RunEvent) {}
+func (c *seriesCollector) OnEvent(ev RunEvent) {
+	c.res.Events = append(c.res.Events, ev)
+}
 
 func (c *seriesCollector) OnDone(m Metrics) {
 	c.res.Final = m

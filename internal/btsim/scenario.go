@@ -7,6 +7,7 @@ import (
 
 	"stratmatch/internal/rng"
 	"stratmatch/internal/stats"
+	"stratmatch/internal/telemetry"
 )
 
 // Scenario composes a swarm, an arrival process, lifecycle departures and
@@ -50,6 +51,15 @@ type Scenario struct {
 	// round — costs O(1) amortized allocations per round (the series
 	// append) and is the intended setting for dense time-series studies.
 	SampleEvery int
+	// Telemetry is an optional runtime-telemetry recorder (see
+	// internal/telemetry): when set, the runner and engine record phase
+	// durations, counters and gauges into it, and observers implementing
+	// TelemetryObserver receive a snapshot after each sample. Telemetry only
+	// reads the wall clock — never the RNG or simulation state — so a run
+	// with a recorder attached is byte-identical to one without. It is a
+	// runtime concern, not part of the scenario definition, and does not
+	// appear in ScenarioSpec.
+	Telemetry *telemetry.Recorder
 }
 
 // Event is a scheduled membership shock: at Round, DepartFraction of the
@@ -103,6 +113,9 @@ type SeriesPoint struct {
 type ScenarioResult struct {
 	Name   string
 	Series []SeriesPoint
+	// Events are the discrete occurrences the run reported, in round order
+	// (see RunEvent for the kinds); empty for an uneventful run.
+	Events []RunEvent
 	// Final is the closing roster snapshot (departed peers included).
 	Final Metrics
 	// TotalJoined / TotalDeparted are the membership flows over the whole
@@ -171,6 +184,9 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
+	tel := sc.Telemetry // nil when telemetry is off; all hooks no-op
+	s.SetTelemetry(tel)
+	tObs, _ := obs.(TelemetryObserver)
 	// The fault sub-stream splits off only when faults are present, so a
 	// fault-free scenario's churn and capacity streams — and therefore its
 	// whole output — stay byte-identical to earlier versions.
@@ -190,8 +206,11 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	alive := s.present > 0
 	for round := 0; round < sc.Rounds; round++ {
 		if faultsOn {
+			fsp := tel.StartPhase(telemetry.PhaseFaults)
 			s.faultBeginRound(round, obs)
+			tel.EndPhase(telemetry.PhaseFaults, fsp)
 		}
+		asp := tel.StartPhase(telemetry.PhaseAnnounce)
 		if sc.Arrivals != nil {
 			for k := sc.Arrivals.Arrivals(round, churnR); k > 0; k-- {
 				capKbps := 400.0
@@ -201,18 +220,24 @@ func (sc Scenario) RunObserver(obs Observer) error {
 				s.Join(capKbps, churnR.Bool(sc.ArrivalSeedFraction))
 			}
 		}
+		tel.EndPhase(telemetry.PhaseAnnounce, asp)
 		for _, ev := range sc.Events {
 			if ev.Round == round {
 				gone := s.massDepart(ev.DepartFraction, ev.IncludeSeeds, churnR, &scratch)
+				tel.Inc(telemetry.CtrEvents)
 				obs.OnEvent(RunEvent{Round: round, Kind: "shock", Departed: gone})
 			}
 		}
 		s.Step()
 		s.applyDepartures(sc.Departures, churnR, &scratch)
 		if faultsOn {
+			fsp := tel.StartPhase(telemetry.PhaseFaults)
 			s.faultEndRound(round, obs)
+			tel.EndPhase(telemetry.PhaseFaults, fsp)
 		}
+		asp = tel.StartPhase(telemetry.PhaseAnnounce)
 		s.ReannounceUnderConnected(reannounce)
+		tel.EndPhase(telemetry.PhaseAnnounce, asp)
 		if faultsOn && s.flt.watchdog {
 			if err := s.CheckInvariants(); err != nil {
 				return fmt.Errorf("scenario %s: round %d: %w", sc.Name, round, err)
@@ -220,13 +245,28 @@ func (sc Scenario) RunObserver(obs Observer) error {
 		}
 		switch {
 		case s.present == 0 && alive:
+			tel.Inc(telemetry.CtrEvents)
 			obs.OnEvent(RunEvent{Round: round, Kind: "drained"})
 			alive = false
 		case s.present > 0:
 			alive = true
 		}
 		if round%sampleEvery == 0 || round == sc.Rounds-1 {
-			obs.OnSample(sampler.sample(s))
+			ssp := tel.StartPhase(telemetry.PhaseSample)
+			pt := sampler.sample(s)
+			obs.OnSample(pt)
+			tel.EndPhase(telemetry.PhaseSample, ssp)
+			tel.Inc(telemetry.CtrSamples)
+			if tel != nil {
+				tel.SetGauge(telemetry.GaugeRound, int64(pt.Round))
+				tel.SetGauge(telemetry.GaugePresent, int64(pt.Present))
+				tel.SetGauge(telemetry.GaugeLeechers, int64(pt.Leechers))
+				tel.SetGauge(telemetry.GaugeSeeds, int64(pt.Seeds))
+				tel.SetGauge(telemetry.GaugeStaleEdges, int64(pt.StaleEdges))
+				if tObs != nil {
+					tObs.OnTelemetry(pt.Round, tel.Snapshot())
+				}
+			}
 		}
 	}
 	obs.OnDone(s.Snapshot())

@@ -1,5 +1,7 @@
 package btsim
 
+import "stratmatch/internal/telemetry"
+
 // Step advances the simulation by one round (one second): choke decisions on
 // their (per-peer staggered) schedule, then one round of data transfer.
 // Staggering matters: real BitTorrent clients run independent 10-second
@@ -11,6 +13,7 @@ package btsim
 // order — deterministic, and bounded by the concurrent population peak, not
 // by the (append-only) roster.
 func (s *Swarm) Step() {
+	sp := s.tel.StartPhase(telemetry.PhaseChoke)
 	for sl := 0; sl < s.slotCap; sl++ {
 		id := s.slotPeer[sl]
 		if id < 0 {
@@ -27,7 +30,11 @@ func (s *Swarm) Step() {
 			s.rotateOptimisticPeer(p)
 		}
 	}
+	s.tel.EndPhase(telemetry.PhaseChoke, sp)
+	sp = s.tel.StartPhase(telemetry.PhaseTransfer)
 	s.transfer()
+	s.tel.EndPhase(telemetry.PhaseTransfer, sp)
+	s.tel.Inc(telemetry.CtrRounds)
 	s.round++
 }
 
@@ -117,6 +124,7 @@ func (s *Swarm) Depart(id int) {
 	s.freeSlots = append(s.freeSlots, sl)
 	s.havePool = append(s.havePool, p.have)
 	p.have = bitset{}
+	s.tel.Inc(telemetry.CtrDeparts)
 }
 
 // Crash removes a peer abruptly (crash-stop): it leaves the tracker and the
@@ -164,6 +172,7 @@ func (s *Swarm) Crash(id int) {
 	}
 	f.totalCrashed++
 	f.crashq = append(f.crashq, int32(id))
+	s.tel.Inc(telemetry.CtrCrashes)
 }
 
 // sweepCrashed is the failure-detection pass: once a crashed peer has been
@@ -240,6 +249,7 @@ func (s *Swarm) wantsAlong(v, u *peer, e int32) bool {
 // rechokePeer recomputes p's rates from its elapsed window and reassigns its
 // TFT slots.
 func (s *Swarm) rechokePeer(p *peer) {
+	s.tel.Inc(telemetry.CtrRechokes)
 	interval := float64(s.opt.ChokeIntervalRounds)
 	base, end := s.edges(p.id)
 	for e := base; e < end; e++ {
@@ -331,6 +341,7 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 	if s.opt.OptimisticSlots < 1 {
 		return
 	}
+	s.tel.Inc(telemetry.CtrOptimistics)
 	p.optimistic = -1
 	nc := 0
 	base, end := s.edges(p.id)
@@ -390,6 +401,8 @@ func (s *Swarm) transfer() {
 				s.recvWindow[ev] += share
 				u.totalUp += share
 				v.totalDown += share
+				s.sumUp += share
+				s.sumDown += share
 				continue
 			}
 			remaining := share
@@ -412,6 +425,8 @@ func (s *Swarm) transfer() {
 				s.recvWindow[ev] += amt
 				u.totalUp += amt
 				v.totalDown += amt
+				s.sumUp += amt
+				s.sumDown += amt
 				remaining -= amt
 				if s.pieceProgress[idx] >= s.opt.PieceKbit {
 					v.have.set(piece)
@@ -479,6 +494,7 @@ func (s *Swarm) completePiece(v *peer, piece int) {
 			s.want[s.rev[e]]++
 		}
 	}
+	s.tel.Inc(telemetry.CtrPieces)
 	if v.haveCount == s.opt.Pieces {
 		v.done = true
 		v.doneRound = s.round + 1

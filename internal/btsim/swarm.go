@@ -42,6 +42,7 @@ import (
 	"math/bits"
 
 	"stratmatch/internal/rng"
+	"stratmatch/internal/telemetry"
 )
 
 // Options configures a swarm. The struct is plain data and round-trips
@@ -239,6 +240,19 @@ type Swarm struct {
 	// fault-free path is byte-identical to earlier versions.
 	flt *faultState
 
+	// tel is the optional telemetry recorder (see internal/telemetry); nil
+	// when telemetry is off, and every hook is a nil-receiver no-op, so the
+	// disabled path stays allocation-free and byte-identical. Telemetry only
+	// ever reads the wall clock — never the RNG or simulation state — so
+	// enabling it cannot change any simulation output.
+	tel *telemetry.Recorder
+
+	// sumUp / sumDown are swarm-wide running transfer totals, maintained at
+	// the two transfer sites so TotalUploaded/TotalDownloaded are O(1)
+	// instead of roster scans.
+	sumUp   float64
+	sumDown float64
+
 	// Scratch buffers (sized to the per-slot edge capacity / piece count)
 	// reused by every call on the stepping hot path — Step never allocates.
 	candE    []int32
@@ -395,6 +409,11 @@ func (s *Swarm) edges(id int) (base, end int32) {
 	return base, base + s.deg[sl]
 }
 
+// SetTelemetry attaches a telemetry recorder to the swarm (nil detaches).
+// Recording only reads the wall clock, so attaching a recorder never
+// perturbs RNG streams or simulation outputs.
+func (s *Swarm) SetTelemetry(tel *telemetry.Recorder) { s.tel = tel }
+
 // Present returns the number of peers currently in the swarm.
 func (s *Swarm) Present() int { return s.present }
 
@@ -478,6 +497,7 @@ func (s *Swarm) Join(capacityKbps float64, asSeed bool) int {
 	}
 	s.rank = append(s.rank, nr)
 
+	s.tel.Inc(telemetry.CtrJoins)
 	s.trackerRegister(id)
 	s.Announce(id)
 	return id

@@ -1,5 +1,7 @@
 package btsim
 
+import "stratmatch/internal/telemetry"
+
 // tracker is the swarm's membership registry: the set of present peer ids,
 // with O(1) register/unregister (swap-delete) and uniform random sampling
 // for neighbor handout. It models a BitTorrent tracker: peers announce on
@@ -46,9 +48,11 @@ func (s *Swarm) Announce(id int) int {
 		return 0
 	}
 	p := &s.peers[id]
+	s.tel.Inc(telemetry.CtrAnnounces)
 	if f := s.flt; f != nil {
 		if f.trackerDown || (f.lossRate > 0 && f.r.Bool(f.lossRate)) {
 			f.announceFailed(p.slot, s.round)
+			s.tel.Inc(telemetry.CtrAnnounceFailures)
 			return 0
 		}
 		f.announceOK(p.slot)
@@ -87,6 +91,7 @@ func (s *Swarm) Announce(id int) int {
 		added++
 		need--
 	}
+	s.tel.Add(telemetry.CtrAnnounceEdges, added)
 	return added
 }
 

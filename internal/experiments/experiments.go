@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"stratmatch/internal/telemetry"
 	"stratmatch/internal/textplot"
 )
 
@@ -33,6 +34,12 @@ type Config struct {
 	// task derives its own deterministic random sub-stream and writes to
 	// its own slot.
 	Workers int
+	// Telemetry is an optional runtime-telemetry recorder (see
+	// internal/telemetry). When set, Run times each experiment, and the
+	// scenario-driving experiments thread it into their swarm runs. Results
+	// are byte-identical with or without it: recording only reads the wall
+	// clock.
+	Telemetry *telemetry.Recorder
 }
 
 func (c Config) scale() float64 {
@@ -157,7 +164,10 @@ func Run(id string, cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
+	sp := cfg.Telemetry.StartPhase(telemetry.PhaseExperiment)
 	res, err := reg.run(cfg)
+	cfg.Telemetry.EndPhase(telemetry.PhaseExperiment, sp)
+	cfg.Telemetry.Inc(telemetry.CtrExperiments)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s: %w", id, err)
 	}

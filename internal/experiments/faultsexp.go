@@ -43,6 +43,9 @@ func Faults(cfg Config) (*Result, error) {
 		if scens[i], err = spec.Compile(); err != nil {
 			return nil, err
 		}
+		// Telemetry is runtime-only: attached after Compile, never part of
+		// the spec, so recorded runs stay byte-identical to bare ones.
+		scens[i].Telemetry = cfg.Telemetry
 	}
 	if err := par.ForEachErr(len(runs), cfg.Workers, func(i int) error {
 		res, err := scens[i].Run()

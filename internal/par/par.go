@@ -14,7 +14,20 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"stratmatch/internal/telemetry"
 )
+
+// tel holds the process-wide telemetry recorder for the pool, stored
+// atomically so fan-outs on other goroutines observe a SetTelemetry
+// race-free. Nil (the default) records nothing.
+var tel atomic.Pointer[telemetry.Recorder]
+
+// SetTelemetry attaches a telemetry recorder to the worker pool: every task
+// run by ForEach/ForEachWorker/ForEachErr is counted and timed as a
+// "par_task" phase. Pass nil to detach. Safe to call concurrently with
+// running fan-outs.
+func SetTelemetry(r *telemetry.Recorder) { tel.Store(r) }
 
 // ForEach runs fn(0) .. fn(n-1) across min(workers, n) goroutines and
 // returns when every call has completed. workers <= 0 means GOMAXPROCS.
@@ -27,10 +40,14 @@ func ForEach(n, workers int, fn func(i int)) {
 // passed alongside the task index, for callers that keep per-worker
 // accumulators. The worker count actually used is Workers(n, workers).
 func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	r := tel.Load() // nil when telemetry is off; all hooks no-op
 	workers = Workers(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			sp := r.StartPhase(telemetry.PhaseParTask)
 			fn(0, i)
+			r.EndPhase(telemetry.PhaseParTask, sp)
+			r.Inc(telemetry.CtrParTasks)
 		}
 		return
 	}
@@ -45,7 +62,10 @@ func ForEachWorker(n, workers int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
+				sp := r.StartPhase(telemetry.PhaseParTask)
 				fn(w, i)
+				r.EndPhase(telemetry.PhaseParTask, sp)
+				r.Inc(telemetry.CtrParTasks)
 			}
 		}(w)
 	}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// WritePrometheus renders the Recorder in the Prometheus text exposition
+// format (version 0.0.4): every non-zero counter and gauge, and one
+// cumulative histogram per recorded phase under a shared metric family
+// with a `phase` label. Reads are atomic, so scraping a Recorder while the
+// simulation writes it is safe; per-phase bucket/count/sum triplets are
+// read cell-by-cell and may be off by the in-flight observation — the
+// usual Prometheus scrape semantics.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for id := CounterID(0); id < numCounters; id++ {
+		v := atomic.LoadUint64(&r.counters[id])
+		if v == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			counterNames[id], counterNames[id], v); err != nil {
+			return err
+		}
+	}
+	for id := GaugeID(0); id < numGauges; id++ {
+		v := atomic.LoadInt64(&r.gauges[id])
+		if v == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n",
+			gaugeNames[id], gaugeNames[id], v); err != nil {
+			return err
+		}
+	}
+	const fam = "phase_duration_seconds"
+	wroteType := false
+	for id := PhaseID(0); id < numPhases; id++ {
+		h := &r.phases[id]
+		count := atomic.LoadUint64(&h.count)
+		if count == 0 {
+			continue
+		}
+		if !wroteType {
+			if _, err := fmt.Fprintf(w, "# HELP %s Wall-clock time per instrumented phase.\n# TYPE %s histogram\n",
+				fam, fam); err != nil {
+				return err
+			}
+			wroteType = true
+		}
+		cum := uint64(0)
+		for b := 0; b < NumBuckets; b++ {
+			cum += atomic.LoadUint64(&h.buckets[b])
+			le := "+Inf"
+			if bound := BucketBoundNs(b); bound >= 0 {
+				le = strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{phase=%q,le=%q} %d\n",
+				fam, phaseNames[id], le, cum); err != nil {
+				return err
+			}
+		}
+		sum := atomic.LoadUint64(&h.sumNs)
+		if _, err := fmt.Fprintf(w, "%s_sum{phase=%q} %g\n%s_count{phase=%q} %d\n",
+			fam, phaseNames[id], float64(sum)/1e9, fam, phaseNames[id], count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the Prometheus exposition — the
+// /metrics endpoint of the CLI's -debug-addr listener.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Run the per-experiment benchmarks (every paper figure/table plus the
-# extensions, including the churn scenario catalog behind BenchmarkChurn)
+# extensions, including the churn scenario catalog behind BenchmarkChurn
+# and the telemetry on/off differential behind BenchmarkSwarmStepTelemetry*)
 # and record the results as BENCH_results.json at the repository root, so
 # the performance trajectory is tracked across PRs. Benchmarks run at
 # -benchtime=3x so single-run noise doesn't dominate the comparisons.

@@ -1,6 +1,9 @@
 package stratmatch
 
-import "stratmatch/internal/btsim"
+import (
+	"stratmatch/internal/btsim"
+	"stratmatch/internal/telemetry"
+)
 
 // SwarmOptions configures a BitTorrent Tit-for-Tat swarm simulation.
 type SwarmOptions = btsim.Options
@@ -63,6 +66,30 @@ func (sw *Swarm) Round() int { return sw.s.Round() }
 
 // Metrics computes the current snapshot.
 func (sw *Swarm) Metrics() SwarmMetrics { return sw.s.Snapshot() }
+
+// Runtime telemetry: an optional recorder of phase-duration histograms,
+// counters and gauges, zero-alloc on the simulation hot path and inert
+// (nil) by default. Recording reads only the wall clock, so results are
+// byte-identical with or without it.
+type (
+	// Telemetry accumulates counters, gauges and phase histograms; attach
+	// one with Swarm.SetTelemetry or Scenario.Telemetry and read it with
+	// Telemetry.Snapshot or Telemetry.WritePrometheus.
+	Telemetry = telemetry.Recorder
+	// TelemetrySnapshot is a point-in-time copy of a recorder's state.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TelemetryObserver extends ScenarioObserver with per-sample telemetry
+	// snapshots (delivered only when the scenario has a recorder attached).
+	TelemetryObserver = btsim.TelemetryObserver
+)
+
+// NewTelemetry returns a live recorder. A nil *Telemetry is the disabled
+// state: every recording method is a no-op on it.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// SetTelemetry attaches a recorder to the swarm's engine phases (choke,
+// transfer, tracker announces, fault sweeps). Pass nil to detach.
+func (sw *Swarm) SetTelemetry(tel *Telemetry) { sw.s.SetTelemetry(tel) }
 
 // Dynamic-membership scenarios: composable arrival processes, lifecycle
 // departures and scheduled shocks, run by a deterministic scenario driver.
