@@ -151,6 +151,32 @@ func benchSwarmStep(b *testing.B, tel *Telemetry) {
 func BenchmarkSwarmStepTelemetryOff(b *testing.B) { benchSwarmStep(b, nil) }
 func BenchmarkSwarmStepTelemetryOn(b *testing.B)  { benchSwarmStep(b, NewTelemetry()) }
 
+// benchCheckpoint runs the poisson catalog scenario with (or without) the
+// durable-checkpoint path: a checksummed snapshot of the complete run
+// state encoded, atomically written and rotated every 10 rounds. The
+// on/off contrast isolates what durability costs a run.
+func benchCheckpoint(b *testing.B, every int) {
+	sc, err := NewScenario("poisson", 40, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if every > 0 {
+		sc.CheckpointEvery = every
+		sc.CheckpointDir = b.TempDir()
+		sc.CheckpointRetain = 2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B)    { benchCheckpoint(b, 10) }
+func BenchmarkCheckpointOff(b *testing.B) { benchCheckpoint(b, 0) }
+
 // BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
 // network of 5000 peers (not tied to a figure; the primitive every
 // experiment leans on).

@@ -12,6 +12,8 @@
 //	btswarm -scenario trackerdown -emit jsonl            # fault injection, streamed
 //	btswarm -dump-spec flashcrowd > flash.json           # catalog entry as JSON
 //	btswarm -spec flash.json -emit jsonl                 # run a spec file, stream JSONL
+//	btswarm -scenario poisson -checkpoint-every 100 -checkpoint-dir ck   # durable run
+//	btswarm -resume ck -checkpoint-every 100 -checkpoint-dir ck          # continue it
 //
 // With -replicas N, N independent swarms (seeds seed, seed+1, ...) run
 // across -workers goroutines and the stratification statistics are
@@ -28,11 +30,20 @@
 // pipe), -scenario-scale rescales a loaded spec, and -emit jsonl streams
 // every sample, event and the closing summary as JSON lines through the
 // scenario Observer API — O(1) memory at any horizon and -sample-every 1.
+//
+// Scenario runs are durable: -checkpoint-every N snapshots the complete
+// run state into -checkpoint-dir every N rounds (atomically, checksummed,
+// keeping the newest -checkpoint-retain files), and SIGINT/SIGTERM writes
+// a final checkpoint before exiting cleanly. -resume PATH continues from
+// a checkpoint file (or the newest in a directory) using the scenario
+// spec embedded in it — the resumed output is byte-identical to what the
+// uninterrupted run would have produced.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -42,10 +53,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/trace"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"stratmatch/internal/bandwidth"
 	"stratmatch/internal/btsim"
@@ -87,6 +100,10 @@ func run(args []string) error {
 		specPath  = fs.String("spec", "", "load and run a JSON scenario spec from this file (use /dev/stdin to pipe)")
 		dumpSpec  = fs.String("dump-spec", "", "print the named catalog scenario as a JSON spec and exit")
 		emit      = fs.String("emit", "text", "scenario output format: text (series table + report) or jsonl (stream samples/events/summary as JSON lines)")
+		ckEvery   = fs.Int("checkpoint-every", 0, "write a durable checkpoint of the scenario run every N rounds (0 = off; requires -checkpoint-dir)")
+		ckDir     = fs.String("checkpoint-dir", "", "directory for scenario checkpoints (created if missing); also enables a graceful SIGINT/SIGTERM checkpoint")
+		ckRetain  = fs.Int("checkpoint-retain", 0, "checkpoint files to keep, oldest rotated away (0 = default 3; negative = keep all)")
+		resume    = fs.String("resume", "", "resume a scenario run from a checkpoint file, or the newest checkpoint in a directory, using the spec embedded in it")
 		telFlag   = fs.Bool("telemetry", false, "record runtime telemetry (phase durations, counters, gauges); jsonl runs emit telemetry records, text runs print a summary to stderr")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address while running (implies -telemetry)")
 		tracePath = fs.String("trace", "", "write a runtime/trace with per-phase user regions to this file, for go tool trace (implies -telemetry)")
@@ -104,6 +121,16 @@ func run(args []string) error {
 	if *emit != "text" && *emit != "jsonl" {
 		return fmt.Errorf("-emit %q: must be text or jsonl", *emit)
 	}
+	if *ckEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %d: must be >= 0", *ckEvery)
+	}
+	if *ckEvery > 0 && *ckDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint-dir")
+	}
+	if *resume != "" && (*specPath != "" || *scenario != "") {
+		return fmt.Errorf("-resume carries its own embedded spec; it cannot be combined with -scenario or -spec")
+	}
+	ck := ckptConfig{every: *ckEvery, dir: *ckDir, retain: *ckRetain, resume: *resume}
 	// -debug-addr and -trace are useless without a recorder, so they imply
 	// -telemetry. The recorder is nil when telemetry is off; every hook in
 	// the engine no-ops on nil, and recording never touches the RNG or
@@ -197,17 +224,31 @@ func run(args []string) error {
 				spec.Swarm.Seed = *seed
 			}
 		})
-		return runSpec(spec, *scSample, *emit, *verbose, tel)
+		return runSpec(spec, *scSample, ck, *emit, *verbose, tel)
 	}
 	if *scenario != "" {
 		spec, err := btsim.NamedSpec(*scenario, *seed, *scScale)
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, *scSample, *emit, *verbose, tel)
+		return runSpec(spec, *scSample, ck, *emit, *verbose, tel)
+	}
+	if *resume != "" {
+		// The checkpoint embeds the exact effective spec (scaling and
+		// sampling overrides already applied), so no -scenario-scale or
+		// -sample-every reshaping happens here: the resumed run must be
+		// byte-identical to the one that wrote the checkpoint.
+		spec, err := btsim.ResumeSpec(*resume)
+		if err != nil {
+			return err
+		}
+		return runSpec(spec, 0, ck, *emit, *verbose, tel)
 	}
 	if *emit != "text" {
 		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emit)
+	}
+	if ck.every > 0 || ck.dir != "" {
+		return fmt.Errorf("-checkpoint-every and -checkpoint-dir only apply to -scenario, -spec or -resume runs")
 	}
 	if *replicas < 1 {
 		return fmt.Errorf("-replicas %d", *replicas)
@@ -379,11 +420,24 @@ func startDebugServer(addr string, tel *telemetry.Recorder) (string, func(), err
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
+// ckptConfig carries the CLI's durability flags into a scenario run.
+type ckptConfig struct {
+	every  int
+	dir    string
+	retain int
+	resume string
+}
+
 // runSpec compiles a scenario spec and runs it. Text mode materializes the
 // series and prints the classic table; jsonl mode streams every sample,
 // event and the closing summary through the Observer API — no
 // materialization, so dense sampling over long horizons is O(1) memory.
-func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool, tel *telemetry.Recorder) error {
+//
+// With a checkpoint directory configured, SIGINT/SIGTERM interrupts the
+// run at the next round boundary, writes a final resume-from-here
+// checkpoint, and exits cleanly (status 0) — kill -9 loses at most the
+// rounds since the last periodic checkpoint.
+func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emit string, verbose bool, tel *telemetry.Recorder) error {
 	if sampleEvery > 0 {
 		spec.SampleEvery = sampleEvery
 	}
@@ -399,6 +453,31 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool
 	// Telemetry is runtime-only, attached after Compile: it is not part of
 	// the scenario definition and never changes simulation output.
 	sc.Telemetry = tel
+	sc.CheckpointEvery = ck.every
+	sc.CheckpointDir = ck.dir
+	sc.CheckpointRetain = ck.retain
+	sc.ResumeFrom = ck.resume
+	if ck.dir != "" {
+		stop := make(chan struct{})
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			close(stop)
+			// A second signal falls back to the default handler: the run is
+			// force-killed rather than waiting on the checkpoint write.
+			signal.Stop(sigc)
+		}()
+		sc.Interrupt = stop
+	}
+	finish := func(err error) error {
+		if errors.Is(err, btsim.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "btswarm: %v; resume with -resume %s\n", err, ck.dir)
+			return nil
+		}
+		return err
+	}
 	if emit == "jsonl" {
 		// Fault counters only appear in the stream when the spec injects
 		// faults, so fault-free jsonl output stays byte-identical; telemetry
@@ -406,13 +485,13 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, emit string, verbose bool
 		// untouched.
 		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout), withFaults: spec.HasFaults()}
 		if err := sc.RunObserver(em); err != nil {
-			return err
+			return finish(err)
 		}
 		return em.err
 	}
 	res, err := sc.Run()
 	if err != nil {
-		return err
+		return finish(err)
 	}
 	defer reportTelemetry(tel)
 	fmt.Printf("scenario:                %s (seed %d)\n", res.Name, spec.Swarm.Seed)
@@ -518,6 +597,17 @@ func (e *jsonlEmitter) OnTelemetry(round int, snap btsim.TelemetrySnapshot) {
 }
 
 func (e *jsonlEmitter) OnEvent(ev btsim.RunEvent) {
+	if ev.Kind == "checkpoint" {
+		// Checkpoints get their own record type: a consumer (or the crash
+		// harness) scanning for the last durable point greps one stable
+		// shape, and the file for round+1 is guaranteed on disk by the time
+		// this line is emitted.
+		e.encode(struct {
+			Type  string `json:"type"`
+			Round int    `json:"round"`
+		}{Type: "checkpoint", Round: ev.Round})
+		return
+	}
 	e.encode(struct {
 		Type string `json:"type"`
 		btsim.RunEvent

@@ -1,0 +1,351 @@
+package btsim
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"stratmatch/internal/checkpoint"
+)
+
+// ckptScenario compiles a catalog scenario shrunk to a short horizon with
+// dense sampling — small enough that resuming from every single round
+// stays cheap, faithful enough to exercise churn, shocks and faults.
+func ckptScenario(t testing.TB, name string, seed uint64) Scenario {
+	t.Helper()
+	sp, err := NamedSpec(name, seed, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = sp.Scaled(0.12)
+	sp.SampleEvery = 1
+	sc, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// fmtResult renders a run result into a comparable string. Formatting
+// (rather than struct equality) absorbs the NaN sentinels SeriesPoint and
+// Metrics legitimately carry.
+func fmtResult(res *ScenarioResult) string {
+	var b strings.Builder
+	for i := range res.Series {
+		fmt.Fprintf(&b, "S%d %+v\n", i, res.Series[i])
+	}
+	for i := range res.Events {
+		fmt.Fprintf(&b, "E%d %+v\n", i, res.Events[i])
+	}
+	fmt.Fprintf(&b, "F %+v\n", res.Final)
+	fmt.Fprintf(&b, "J %d D %d\n", res.TotalJoined, res.TotalDeparted)
+	return b.String()
+}
+
+// stripCheckpointEvents removes the "checkpoint" events a checkpointing
+// run adds to the stream, leaving what a non-checkpointing run reports.
+func stripCheckpointEvents(events []RunEvent) []RunEvent {
+	out := events[:0:0]
+	for _, ev := range events {
+		if ev.Kind != "checkpoint" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestCheckpointResumeByteIdentical is the acceptance property: for every
+// catalog scenario — fault-free and faulted — a run checkpointed at EVERY
+// round and resumed from EACH of those checkpoints produces exactly the
+// remaining sample/event stream and final result of the uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resumes from every round of every catalog scenario")
+	}
+	for _, name := range ScenarioNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			sc := ckptScenario(t, name, 46)
+			golden, err := sc.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenStr := fmtResult(golden)
+
+			dir := t.TempDir()
+			ck := sc
+			ck.CheckpointEvery = 1
+			ck.CheckpointDir = dir
+			ck.CheckpointRetain = -1 // keep every round's checkpoint
+			full, err := ck.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The checkpointing run itself must be byte-identical to the
+			// golden run once its extra "checkpoint" events are stripped —
+			// checkpointing reads state, never perturbs it.
+			fullCmp := *full
+			fullCmp.Events = stripCheckpointEvents(full.Events)
+			if got := fmtResult(&fullCmp); got != goldenStr {
+				t.Fatalf("checkpointing perturbed the run:\n--- golden ---\n%s--- checkpointed ---\n%s", goldenStr, got)
+			}
+
+			// One checkpoint per round, resuming from rounds 1..Rounds.
+			for k := 1; k <= sc.Rounds; k++ {
+				res := sc
+				res.ResumeFrom = filepath.Join(dir, checkpoint.FileName(k))
+				resumed, err := res.Run()
+				if err != nil {
+					t.Fatalf("resume from round %d: %v", k, err)
+				}
+				// SampleEvery is 1, so the golden run has one sample per
+				// round: the resumed stream must equal the golden tail.
+				want := &ScenarioResult{
+					Name:          golden.Name,
+					Series:        golden.Series[k:],
+					Events:        eventsFromRound(golden.Events, k),
+					Final:         golden.Final,
+					TotalJoined:   golden.TotalJoined,
+					TotalDeparted: golden.TotalDeparted,
+				}
+				if got, wantStr := fmtResult(resumed), fmtResult(want); got != wantStr {
+					t.Fatalf("resume from round %d diverged:\n--- want ---\n%s--- got ---\n%s", k, wantStr, got)
+				}
+			}
+		})
+	}
+}
+
+func eventsFromRound(events []RunEvent, round int) []RunEvent {
+	out := events[:0:0]
+	for _, ev := range events {
+		if ev.Round >= round {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestCheckpointInterruptAndResume covers the signal path: a run whose
+// Interrupt channel is already closed writes a resume-from-here checkpoint
+// and returns ErrInterrupted without delivering OnDone; resuming that
+// checkpoint completes the run byte-identically.
+func TestCheckpointInterruptAndResume(t *testing.T) {
+	sc := ckptScenario(t, "trackerdown", 46)
+	golden, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	stop := make(chan struct{})
+	close(stop)
+	intr := sc
+	intr.CheckpointDir = dir
+	intr.Interrupt = stop
+	res, err := intr.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned (%v, %v), want ErrInterrupted", res, err)
+	}
+	path := filepath.Join(dir, checkpoint.FileName(0))
+	if _, statErr := os.Stat(path); statErr != nil {
+		t.Fatalf("no checkpoint written on interrupt: %v", statErr)
+	}
+
+	resume := sc
+	resume.ResumeFrom = dir // directory form: newest checkpoint
+	resumed, err := resume.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmtResult(resumed), fmtResult(golden); got != want {
+		t.Fatalf("resume after interrupt diverged:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestCheckpointRotation: the default retention keeps the newest three
+// checkpoints; each "checkpoint" event refers to a file already on disk.
+func TestCheckpointRotation(t *testing.T) {
+	sc := ckptScenario(t, "poisson", 46)
+	dir := t.TempDir()
+	ck := sc
+	ck.CheckpointEvery = 1
+	ck.CheckpointDir = dir // CheckpointRetain left 0: default 3
+	res, err := ck.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("retention left %d checkpoints, want 3", len(entries))
+	}
+	for i, want := range []int{sc.Rounds - 2, sc.Rounds - 1, sc.Rounds} {
+		if got := entries[i].Name(); got != checkpoint.FileName(want) {
+			t.Fatalf("retained file %d is %s, want %s", i, got, checkpoint.FileName(want))
+		}
+	}
+	nCkpt := 0
+	for _, ev := range res.Events {
+		if ev.Kind == "checkpoint" {
+			nCkpt++
+		}
+	}
+	if nCkpt != sc.Rounds {
+		t.Fatalf("%d checkpoint events for %d rounds", nCkpt, sc.Rounds)
+	}
+}
+
+// TestCheckpointBindingRejected: a checkpoint only resumes the exact
+// workload it came from — name, seed, horizon and spec are all verified.
+func TestCheckpointBindingRejected(t *testing.T) {
+	sc := ckptScenario(t, "flashcrowd", 46)
+	dir := t.TempDir()
+	ck := sc
+	ck.CheckpointEvery = sc.Rounds // single checkpoint at the end of the run
+	ck.CheckpointDir = dir
+	if _, err := ck.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"wrong name", func(s *Scenario) { s.Name = "other" }, "scenario"},
+		{"wrong seed", func(s *Scenario) { s.Opt.Seed++ }, "seed"},
+		{"wrong horizon", func(s *Scenario) { s.Rounds++ }, "horizon"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := sc
+			tc.mutate(&bad)
+			bad.ResumeFrom = dir
+			if _, err := bad.Run(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("resume with %s returned %v, want error mentioning %q", tc.name, err, tc.want)
+			}
+		})
+	}
+
+	t.Run("wrong spec", func(t *testing.T) {
+		other := ckptScenario(t, "flashcrowd", 46)
+		other.SampleEvery = 7 // post-compile override: spec bytes still match
+		sp, err := NamedSpec("flashcrowd", 46, 0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp = sp.Scaled(0.12)
+		sp.SampleEvery = 1
+		sp.ReannounceInterval = 5 // a real spec difference
+		diff, err := sp.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff.ResumeFrom = dir
+		if _, err := diff.Run(); err == nil || !strings.Contains(err.Error(), "different spec") {
+			t.Fatalf("resume with a different spec returned %v", err)
+		}
+		_ = other
+	})
+
+	t.Run("missing path", func(t *testing.T) {
+		bad := sc
+		bad.ResumeFrom = filepath.Join(dir, "no-such.ckpt")
+		if _, err := bad.Run(); err == nil {
+			t.Fatal("resume from a missing path succeeded")
+		}
+	})
+}
+
+// TestResumeSpec: the spec embedded in a checkpoint reconstructs the
+// workload without any external scenario description.
+func TestResumeSpec(t *testing.T) {
+	sc := ckptScenario(t, "splitbrain", 46)
+	dir := t.TempDir()
+	ck := sc
+	ck.CheckpointEvery = 10
+	ck.CheckpointDir = dir
+	if _, err := ck.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := ResumeSpec(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := sp.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Name != sc.Name || rebuilt.Rounds != sc.Rounds || rebuilt.Opt.Seed != sc.Opt.Seed {
+		t.Fatalf("embedded spec rebuilt %s/%d/%d, want %s/%d/%d",
+			rebuilt.Name, rebuilt.Rounds, rebuilt.Opt.Seed, sc.Name, sc.Rounds, sc.Opt.Seed)
+	}
+	rebuilt.ResumeFrom = dir
+	if _, err := rebuilt.Run(); err != nil {
+		t.Fatalf("run rebuilt from the embedded spec failed to resume: %v", err)
+	}
+}
+
+// TestAnnounceRecycledSlotNoop is the tracker regression for the
+// checkpoint/resume boundary: a re-announce from a peer whose slot was
+// recycled must be a guarded no-op, not a read of another occupant's CSR
+// block.
+func TestAnnounceRecycledSlotNoop(t *testing.T) {
+	s, err := New(Options{Leechers: 8, Seeds: 1, Pieces: 16, PieceKbit: 256,
+		NeighborCount: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	// Simulate the stale state: the registry still lists peer 3, but its
+	// slot has been recycled out from under it.
+	s.peers[3].slot = -1
+	if added := s.Announce(3); added != 0 {
+		t.Fatalf("announce from a slotless peer added %d edges", added)
+	}
+	// The sweep over the registry must skip it rather than index slot -1.
+	s.ReannounceUnderConnected(1)
+}
+
+// TestScenarioCheckpointOffZeroAlloc pins that the checkpoint plumbing is
+// free when off: a run with CheckpointEvery 0 (and an armed Interrupt
+// channel) allocates no more per round than the engine already did —
+// the poll and the disabled checkpoint branch add nothing.
+func TestScenarioCheckpointOffZeroAlloc(t *testing.T) {
+	stop := make(chan struct{}) // never fires
+	sc := Scenario{
+		Name: "alloc-pin",
+		Opt: Options{Leechers: 40, Seeds: 2, Pieces: 32, PieceKbit: 512,
+			PostFlashCrowd: true, NeighborCount: 8, Seed: 77},
+		Rounds:        400,
+		SampleEvery:   1,
+		CheckpointDir: t.TempDir(),
+		Interrupt:     stop,
+	}
+	run, err := sc.freshRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.s.Run(50) // past the start-up transient
+	var sink SeriesPoint
+	body := func() {
+		select {
+		case <-sc.Interrupt:
+			t.Fatal("interrupt fired")
+		default:
+		}
+		run.s.Step()
+		sink = run.sampler.sample(run.s)
+	}
+	if allocs := testing.AllocsPerRun(200, body); allocs != 0 {
+		t.Fatalf("round body with checkpointing off allocates %.1f objects, want 0", allocs)
+	}
+	_ = sink
+}

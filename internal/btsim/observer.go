@@ -61,6 +61,9 @@ type RunEvent struct {
 	//   - "partition_heal": the active partition healed
 	//   - "crash":          crash-stop failures killed Departed peers this
 	//     round
+	//   - "checkpoint":     a durable checkpoint was written at the end of
+	//     this round (the file resumes from Round+1); emitted only after the
+	//     file is safely on disk
 	Kind string `json:"kind"`
 	// Departed is the number of peers the event removed (shocks and
 	// crashes).

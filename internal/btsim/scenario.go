@@ -60,6 +60,42 @@ type Scenario struct {
 	// runtime concern, not part of the scenario definition, and does not
 	// appear in ScenarioSpec.
 	Telemetry *telemetry.Recorder
+
+	// CheckpointEvery writes a durable checkpoint of the complete run state
+	// into CheckpointDir every CheckpointEvery rounds (0: no checkpointing).
+	// A checkpoint written at the end of round r resumes from round r+1; a
+	// run resumed from it produces the remaining sample/event stream and
+	// final result byte-identical to the uninterrupted run. Each write is
+	// reported as a "checkpoint" RunEvent after the file is on disk.
+	// Checkpointing, like telemetry, is a runtime concern and not part of
+	// ScenarioSpec.
+	CheckpointEvery int
+	// CheckpointDir is the directory checkpoints are written to (created if
+	// missing). Required when CheckpointEvery > 0 or Interrupt is set.
+	CheckpointDir string
+	// CheckpointRetain caps how many checkpoint files CheckpointDir keeps —
+	// older ones are rotated away after each write. 0 means 3; negative
+	// retains everything.
+	CheckpointRetain int
+	// ResumeFrom resumes the run from a checkpoint: a checkpoint file, or a
+	// directory holding checkpoints (the newest is used). The scenario must
+	// describe the same workload the checkpoint came from — name, seed,
+	// rounds and (for spec-compiled scenarios) the embedded spec are
+	// verified, and the restored state passes the full invariant audit
+	// before any round runs.
+	ResumeFrom string
+	// Interrupt, when non-nil, makes the runner poll the channel at each
+	// round boundary: once it is closed (or receives), the runner writes a
+	// final checkpoint into CheckpointDir (if set) and returns an error
+	// wrapping ErrInterrupted without calling OnDone — the graceful
+	// SIGINT/SIGTERM path.
+	Interrupt <-chan struct{}
+
+	// specJSON is the serialized ScenarioSpec this scenario was compiled
+	// from, stamped by Compile and embedded in checkpoints so a resume can
+	// verify — or recover — the exact workload. Empty for hand-built
+	// scenarios.
+	specJSON []byte
 }
 
 // Event is a scheduled membership shock: at Round, DepartFraction of the
@@ -153,12 +189,56 @@ func (sc Scenario) Run() (*ScenarioResult, error) {
 // order is: arrivals and scheduled events first (newcomers participate in
 // the round they join), then one simulation step, then lifecycle
 // departures, then tracker re-announces for under-connected peers, then
-// sampling. Nothing is materialized on the runner side, so a dense
-// SampleEvery: 1 run over a very long horizon holds O(1) series memory.
+// sampling, then (when configured) a durable checkpoint. Nothing is
+// materialized on the runner side, so a dense SampleEvery: 1 run over a
+// very long horizon holds O(1) series memory.
+//
+// With ResumeFrom set, the run restores the complete state saved by an
+// earlier checkpoint and continues from the round after it — the remaining
+// output stream is byte-identical to the uninterrupted run's.
 func (sc Scenario) RunObserver(obs Observer) error {
 	if sc.Rounds < 1 {
 		return fmt.Errorf("scenario %s: %d rounds", sc.Name, sc.Rounds)
 	}
+	if sc.CheckpointDir == "" && (sc.CheckpointEvery > 0 || sc.Interrupt != nil) {
+		return fmt.Errorf("scenario %s: checkpointing requested without a checkpoint directory", sc.Name)
+	}
+	var (
+		run *scenarioRun
+		err error
+	)
+	if sc.ResumeFrom != "" {
+		run, err = sc.resumeRun()
+	} else {
+		run, err = sc.freshRun()
+	}
+	if err != nil {
+		return err
+	}
+	return run.loop(obs)
+}
+
+// scenarioRun is a scenario's live run state: the swarm plus everything the
+// per-round loop carries between rounds. A run is built either fresh (from
+// round 0) or from a checkpoint; both feed the same loop, and a checkpoint
+// is exactly this state serialized (see checkpoint.go).
+type scenarioRun struct {
+	sc      *Scenario
+	s       *Swarm
+	churnR  *rng.RNG // the churn driver's sub-stream
+	sampler seriesSampler
+	scratch []int32
+	// alive tracks the population-drained edge detector; start is the first
+	// round the loop executes (0 fresh, checkpoint's resume round otherwise).
+	alive       bool
+	start       int
+	sampleEvery int
+	reannounce  int
+	faultsOn    bool
+}
+
+// freshRun builds the run state for a from-scratch execution.
+func (sc Scenario) freshRun() (*scenarioRun, error) {
 	// The churn driver's randomness splits off the seed so it cannot
 	// collide with the swarm's own stream (same discipline as the replica
 	// fan-outs); a second split covers the initial capacity draw.
@@ -182,11 +262,8 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	}
 	s, err := New(opt)
 	if err != nil {
-		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
 	}
-	tel := sc.Telemetry // nil when telemetry is off; all hooks no-op
-	s.SetTelemetry(tel)
-	tObs, _ := obs.(TelemetryObserver)
 	// The fault sub-stream splits off only when faults are present, so a
 	// fault-free scenario's churn and capacity streams — and therefore its
 	// whole output — stay byte-identical to earlier versions.
@@ -194,66 +271,98 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	if faultsOn {
 		s.EnableFaults(*sc.Faults, base.Split())
 	}
-
-	sampleEvery := sc.sampleEvery()
-	reannounce := sc.ReannounceInterval
-	if reannounce <= 0 {
-		reannounce = 10
+	run := &scenarioRun{
+		sc:       &sc,
+		s:        s,
+		churnR:   churnR,
+		sampler:  seriesSampler{classes: newClassBounds(s)},
+		alive:    s.present > 0,
+		faultsOn: faultsOn,
 	}
+	run.resolveIntervals()
+	return run, nil
+}
 
-	sampler := seriesSampler{classes: newClassBounds(s)}
-	var scratch []int32
-	alive := s.present > 0
-	for round := 0; round < sc.Rounds; round++ {
-		if faultsOn {
+// resolveIntervals fills the run's effective sampling and re-announce
+// periods from the scenario's (possibly zero) settings.
+func (run *scenarioRun) resolveIntervals() {
+	run.sampleEvery = run.sc.sampleEvery()
+	run.reannounce = run.sc.ReannounceInterval
+	if run.reannounce <= 0 {
+		run.reannounce = 10
+	}
+}
+
+// loop executes rounds start..Rounds-1 and delivers the closing snapshot.
+func (run *scenarioRun) loop(obs Observer) error {
+	sc := run.sc
+	s := run.s
+	tel := sc.Telemetry // nil when telemetry is off; all hooks no-op
+	s.SetTelemetry(tel)
+	tObs, _ := obs.(TelemetryObserver)
+	for round := run.start; round < sc.Rounds; round++ {
+		if sc.Interrupt != nil {
+			select {
+			case <-sc.Interrupt:
+				// Interrupted at a round boundary: persist the state needed
+				// to resume from exactly this round, then bail without
+				// OnDone — the run is suspended, not finished.
+				if err := run.writeCheckpoint(round); err != nil {
+					return err
+				}
+				return fmt.Errorf("scenario %s: %w at round %d", sc.Name, ErrInterrupted, round)
+			default:
+			}
+		}
+		if run.faultsOn {
 			fsp := tel.StartPhase(telemetry.PhaseFaults)
 			s.faultBeginRound(round, obs)
 			tel.EndPhase(telemetry.PhaseFaults, fsp)
 		}
 		asp := tel.StartPhase(telemetry.PhaseAnnounce)
 		if sc.Arrivals != nil {
-			for k := sc.Arrivals.Arrivals(round, churnR); k > 0; k-- {
+			for k := sc.Arrivals.Arrivals(round, run.churnR); k > 0; k-- {
 				capKbps := 400.0
 				if sc.CapacityDist != nil {
-					capKbps = sc.CapacityDist.Sample(churnR)
+					capKbps = sc.CapacityDist.Sample(run.churnR)
 				}
-				s.Join(capKbps, churnR.Bool(sc.ArrivalSeedFraction))
+				s.Join(capKbps, run.churnR.Bool(sc.ArrivalSeedFraction))
 			}
 		}
 		tel.EndPhase(telemetry.PhaseAnnounce, asp)
 		for _, ev := range sc.Events {
 			if ev.Round == round {
-				gone := s.massDepart(ev.DepartFraction, ev.IncludeSeeds, churnR, &scratch)
+				gone := s.massDepart(ev.DepartFraction, ev.IncludeSeeds, run.churnR, &run.scratch)
 				tel.Inc(telemetry.CtrEvents)
 				obs.OnEvent(RunEvent{Round: round, Kind: "shock", Departed: gone})
 			}
 		}
 		s.Step()
-		s.applyDepartures(sc.Departures, churnR, &scratch)
-		if faultsOn {
+		s.applyDepartures(sc.Departures, run.churnR, &run.scratch)
+		if run.faultsOn {
 			fsp := tel.StartPhase(telemetry.PhaseFaults)
 			s.faultEndRound(round, obs)
 			tel.EndPhase(telemetry.PhaseFaults, fsp)
 		}
 		asp = tel.StartPhase(telemetry.PhaseAnnounce)
-		s.ReannounceUnderConnected(reannounce)
+		s.ReannounceUnderConnected(run.reannounce)
 		tel.EndPhase(telemetry.PhaseAnnounce, asp)
-		if faultsOn && s.flt.watchdog {
+		if run.faultsOn && s.flt.watchdog {
 			if err := s.CheckInvariants(); err != nil {
 				return fmt.Errorf("scenario %s: round %d: %w", sc.Name, round, err)
 			}
 		}
 		switch {
-		case s.present == 0 && alive:
+		case s.present == 0 && run.alive:
 			tel.Inc(telemetry.CtrEvents)
 			obs.OnEvent(RunEvent{Round: round, Kind: "drained"})
-			alive = false
+			run.alive = false
 		case s.present > 0:
-			alive = true
+			run.alive = true
 		}
-		if round%sampleEvery == 0 || round == sc.Rounds-1 {
+		if round%run.sampleEvery == 0 || round == sc.Rounds-1 {
 			ssp := tel.StartPhase(telemetry.PhaseSample)
-			pt := sampler.sample(s)
+			pt := run.sampler.sample(s)
 			obs.OnSample(pt)
 			tel.EndPhase(telemetry.PhaseSample, ssp)
 			tel.Inc(telemetry.CtrSamples)
@@ -267,6 +376,16 @@ func (sc Scenario) RunObserver(obs Observer) error {
 					tObs.OnTelemetry(pt.Round, tel.Snapshot())
 				}
 			}
+		}
+		if sc.CheckpointEvery > 0 && (round+1)%sc.CheckpointEvery == 0 {
+			// Write first, then announce: every "checkpoint" event an
+			// observer sees refers to a file already safely on disk, so a
+			// consumer cut off mid-stream can trust its last checkpoint line.
+			if err := run.writeCheckpoint(round + 1); err != nil {
+				return err
+			}
+			tel.Inc(telemetry.CtrEvents)
+			obs.OnEvent(RunEvent{Round: round, Kind: "checkpoint"})
 		}
 	}
 	obs.OnDone(s.Snapshot())

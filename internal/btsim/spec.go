@@ -363,6 +363,15 @@ func (sp ScenarioSpec) Compile() (Scenario, error) {
 			sc.Opt.MaxPeers = est
 		}
 	}
+	// Stamp the spec's serialized form into the scenario. Checkpoints embed
+	// it, so a resume can verify it is continuing the exact workload the
+	// snapshot came from (and the CLI can recompile the scenario from the
+	// snapshot alone). Marshaling now makes the stamp immune to later caller
+	// mutation of the spec; Go's JSON float formatting round-trips exactly,
+	// so equal specs always stamp equal bytes.
+	if data, err := json.Marshal(sp); err == nil {
+		sc.specJSON = data
+	}
 	return sc, nil
 }
 

@@ -48,6 +48,13 @@ func (s *Swarm) Announce(id int) int {
 		return 0
 	}
 	p := &s.peers[id]
+	if p.slot < 0 {
+		// The peer's slot has been recycled out from under it — a stale
+		// re-announce replayed across a checkpoint/resume boundary can do
+		// this. Touching the CSR arrays would read another occupant's block,
+		// so the announce is a guarded no-op instead.
+		return 0
+	}
 	s.tel.Inc(telemetry.CtrAnnounces)
 	if f := s.flt; f != nil {
 		if f.trackerDown || (f.lossRate > 0 && f.r.Bool(f.lossRate)) {
@@ -112,10 +119,14 @@ func (s *Swarm) ReannounceUnderConnected(interval int) int {
 		if interval > 1 && (s.round+id)%interval != 0 {
 			continue
 		}
-		if f := s.flt; f != nil && f.retryAt[s.peers[id].slot] >= 0 {
+		sl := s.peers[id].slot
+		if sl < 0 {
+			continue // slot recycled under a stale registry entry; see Announce
+		}
+		if f := s.flt; f != nil && f.retryAt[sl] >= 0 {
 			continue // in announce backoff; the retry pass owns the schedule
 		}
-		if int(s.deg[s.peers[id].slot]) < target {
+		if int(s.deg[sl]) < target {
 			added += s.Announce(id)
 		}
 	}

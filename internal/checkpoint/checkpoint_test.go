@@ -1,0 +1,278 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildPayload exercises every Writer primitive once and returns the
+// payload plus a verifier that decodes it with a Reader and checks each
+// value round-tripped exactly.
+func buildPayload(t *testing.T) ([]byte, func(*Reader)) {
+	t.Helper()
+	var w Writer
+	w.U64(0xdeadbeefcafef00d)
+	w.I64(-42)
+	w.Int(123456789)
+	w.I32(-7)
+	w.F64(math.Pi)
+	w.F64(math.NaN())
+	w.Bool(true)
+	w.Bool(false)
+	w.Blob([]byte{9, 8, 7})
+	w.String("stratmatch")
+	w.I32s([]int32{-1, 0, 1 << 30})
+	w.Ints([]int{5, -5})
+	w.U64s([]uint64{1, 2, 3})
+	w.F64s([]float64{0.5, -0.25})
+	w.Bools([]bool{true, false, true})
+	w.Blob(nil)
+	verify := func(r *Reader) {
+		t.Helper()
+		if got := r.U64(); got != 0xdeadbeefcafef00d {
+			t.Errorf("U64 = %#x", got)
+		}
+		if got := r.I64(); got != -42 {
+			t.Errorf("I64 = %d", got)
+		}
+		if got := r.Int(); got != 123456789 {
+			t.Errorf("Int = %d", got)
+		}
+		if got := r.I32(); got != -7 {
+			t.Errorf("I32 = %d", got)
+		}
+		if got := r.F64(); got != math.Pi {
+			t.Errorf("F64 = %v", got)
+		}
+		if got := r.F64(); !math.IsNaN(got) {
+			t.Errorf("F64 NaN = %v", got)
+		}
+		if !r.Bool() || r.Bool() {
+			t.Error("Bool round-trip failed")
+		}
+		if got := r.Blob(); len(got) != 3 || got[0] != 9 || got[1] != 8 || got[2] != 7 {
+			t.Errorf("Blob = %v", got)
+		}
+		if got := r.String(); got != "stratmatch" {
+			t.Errorf("String = %q", got)
+		}
+		if got := r.I32s(); len(got) != 3 || got[0] != -1 || got[1] != 0 || got[2] != 1<<30 {
+			t.Errorf("I32s = %v", got)
+		}
+		if got := r.Ints(); len(got) != 2 || got[0] != 5 || got[1] != -5 {
+			t.Errorf("Ints = %v", got)
+		}
+		if got := r.U64s(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+			t.Errorf("U64s = %v", got)
+		}
+		if got := r.F64s(); len(got) != 2 || got[0] != 0.5 || got[1] != -0.25 {
+			t.Errorf("F64s = %v", got)
+		}
+		if got := r.Bools(); len(got) != 3 || !got[0] || got[1] || !got[2] {
+			t.Errorf("Bools = %v", got)
+		}
+		if got := r.Blob(); got != nil {
+			t.Errorf("empty Blob = %v", got)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("reader error: %v", err)
+		}
+		if r.Remaining() != 0 {
+			t.Errorf("%d bytes left over", r.Remaining())
+		}
+	}
+	return w.Bytes(), verify
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	payload, verify := buildPayload(t)
+	got, err := Open(Seal(payload))
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	verify(NewReader(got))
+}
+
+// TestOpenCorruptionMatrix hammers Open with every truncation length and a
+// bit flip at every byte of a sealed container: each must produce an error
+// (ErrCorrupt or ErrVersion), never a success and never a panic.
+func TestOpenCorruptionMatrix(t *testing.T) {
+	payload, _ := buildPayload(t)
+	sealed := Seal(payload)
+
+	for n := 0; n < len(sealed); n++ {
+		if _, err := Open(sealed[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("truncation to %d: untagged error %v", n, err)
+		}
+	}
+	for i := range sealed {
+		flipped := append([]byte(nil), sealed...)
+		flipped[i] ^= 0x40
+		if _, err := Open(flipped); err == nil {
+			t.Fatalf("bit flip at byte %d accepted", i)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersion) {
+			t.Fatalf("bit flip at byte %d: untagged error %v", i, err)
+		}
+	}
+}
+
+func TestOpenVersionSkew(t *testing.T) {
+	sealed := Seal([]byte("x"))
+	sealed[8] = Version + 1
+	_, err := Open(sealed)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+// TestReaderTruncatedPayload checks the sticky-error contract: decoding a
+// truncated payload reports an error from Err, and reads past the failure
+// keep returning zero values instead of panicking.
+func TestReaderTruncatedPayload(t *testing.T) {
+	payload, _ := buildPayload(t)
+	for n := 0; n < len(payload); n++ {
+		r := NewReader(payload[:n])
+		for i := 0; i < 64; i++ {
+			r.U64()
+			r.Blob()
+			r.Bools()
+		}
+		if r.Err() == nil {
+			t.Fatalf("truncation to %d bytes: no reader error", n)
+		}
+	}
+}
+
+// TestReaderHostileLengths feeds slice length prefixes far larger than the
+// buffer: the guard must reject them without attempting the allocation.
+func TestReaderHostileLengths(t *testing.T) {
+	var w Writer
+	w.U64(1 << 60) // absurd element count, no elements follow
+	for _, read := range []func(*Reader){
+		func(r *Reader) { r.Blob() },
+		func(r *Reader) { r.I32s() },
+		func(r *Reader) { r.U64s() },
+		func(r *Reader) { r.F64s() },
+		func(r *Reader) { r.Bools() },
+		func(r *Reader) { _ = r.String() },
+	} {
+		r := NewReader(w.Bytes())
+		read(r)
+		if !errors.Is(r.Err(), ErrCorrupt) {
+			t.Fatalf("hostile length not rejected: %v", r.Err())
+		}
+	}
+}
+
+func TestReaderRejectsBadBoolAndI32Overflow(t *testing.T) {
+	r := NewReader([]byte{7})
+	r.Bool()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("bool byte 7 accepted: %v", r.Err())
+	}
+	var w Writer
+	w.I64(math.MaxInt32 + 1)
+	r = NewReader(w.Bytes())
+	r.I32()
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("int32 overflow accepted: %v", r.Err())
+	}
+}
+
+func TestWriteFileReadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName(17))
+	payload, verify := buildPayload(t)
+	n, err := WriteFile(path, payload)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if want := len(Seal(payload)); n != want {
+		t.Errorf("WriteFile reported %d bytes, file is %d", n, want)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	verify(NewReader(got))
+
+	// No temp litter after a successful write.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want just the checkpoint", len(entries))
+	}
+}
+
+func TestReadFileRejectsDamage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName(0))
+	if _, err := WriteFile(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damaged file: want ErrCorrupt, got %v", err)
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestLatestAndRotate(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Latest(dir); err == nil {
+		t.Fatal("Latest on empty dir succeeded")
+	}
+	for _, seq := range []int{3, 12, 7, 100} {
+		if _, err := WriteFile(filepath.Join(dir, FileName(seq)), []byte{byte(seq)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-checkpoint files are ignored by both Latest and Rotate.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != FileName(100) {
+		t.Fatalf("Latest = %s", latest)
+	}
+
+	if err := Rotate(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	names, err := list(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != FileName(12) || names[1] != FileName(100) {
+		t.Fatalf("after Rotate(2): %v", names)
+	}
+	// keep <= 0 means retain everything.
+	if err := Rotate(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if names, _ = list(dir); len(names) != 2 {
+		t.Fatalf("Rotate(0) deleted files: %v", names)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "notes.txt")); err != nil {
+		t.Fatalf("Rotate touched a non-checkpoint file: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"stratmatch/internal/btsim"
@@ -39,8 +40,12 @@ func Churn(cfg Config) (*Result, error) {
 		// the spec, so recorded runs stay byte-identical to bare ones.
 		scens[i].Telemetry = cfg.Telemetry
 	}
+	// With Config.CheckpointDir set, completed replicas are persisted and a
+	// rerun only executes the ones that never finished.
+	store := cfg.replicaStore()
 	if err := par.ForEachErr(len(runs), cfg.Workers, func(i int) error {
-		res, err := scens[i].Run()
+		key := fmt.Sprintf("churn-%s-r%d", names[i/replicas], i%replicas)
+		res, err := store.runReplica(key, scens[i])
 		runs[i] = res
 		return err
 	}); err != nil {

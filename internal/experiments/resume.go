@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stratmatch/internal/btsim"
+)
+
+// replicaStore persists completed scenario replicas so an experiment rerun
+// — after a crash, a kill, or an intentional stop — skips work it already
+// finished. Every replica is deterministic given (seed, scale), so a
+// stored result is exactly what rerunning would produce; the fingerprint
+// makes a store written at different settings read as a miss instead of
+// poisoning the rerun.
+type replicaStore struct {
+	dir   string
+	seed  uint64
+	scale float64
+}
+
+// replicaRecord is the on-disk shape: the fingerprint plus the result.
+type replicaRecord struct {
+	Seed   uint64
+	Scale  float64
+	Result btsim.ScenarioResult
+}
+
+// replicaStore returns the store for this config, or nil (every method
+// no-ops on nil) when no checkpoint directory is configured.
+func (c Config) replicaStore() *replicaStore {
+	if c.CheckpointDir == "" {
+		return nil
+	}
+	return &replicaStore{dir: c.CheckpointDir, seed: c.Seed, scale: c.scale()}
+}
+
+func (st *replicaStore) path(key string) string {
+	return filepath.Join(st.dir, key+".replica.gob")
+}
+
+// load returns the stored result for key, or nil on any miss — absent
+// file, unreadable gob, or a fingerprint from different settings. A
+// corrupt record is indistinguishable from a missing one by design: the
+// replica simply reruns.
+func (st *replicaStore) load(key string) *btsim.ScenarioResult {
+	if st == nil {
+		return nil
+	}
+	f, err := os.Open(st.path(key))
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	var rec replicaRecord
+	if err := gob.NewDecoder(f).Decode(&rec); err != nil {
+		return nil
+	}
+	if rec.Seed != st.seed || rec.Scale != st.scale {
+		return nil
+	}
+	return &rec.Result
+}
+
+// save persists a completed replica atomically (temp file + rename), so a
+// kill mid-write leaves no half-record for a later load to trip over.
+func (st *replicaStore) save(key string, res *btsim.ScenarioResult) error {
+	if st == nil {
+		return nil
+	}
+	if err := os.MkdirAll(st.dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(st.dir, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	rec := replicaRecord{Seed: st.seed, Scale: st.scale, Result: *res}
+	if err := gob.NewEncoder(tmp).Encode(&rec); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	return nil
+}
+
+// runReplica resolves one replica through the store: a stored result is
+// returned as-is (the run is skipped entirely); otherwise the scenario
+// runs and the result is persisted before it is returned.
+func (st *replicaStore) runReplica(key string, sc btsim.Scenario) (*btsim.ScenarioResult, error) {
+	if got := st.load(key); got != nil {
+		return got, nil
+	}
+	res, err := sc.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := st.save(key, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -37,6 +37,38 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64() ^ 0xd2b74407b1ce6e93)
 }
 
+// State is an RNG's complete internal position: the four xoshiro256**
+// words. It is plain data, so stream positions can be checkpointed and
+// restored exactly (see Save and Restore).
+type State [4]uint64
+
+// Save returns the generator's current state. A generator restored from it
+// produces exactly the stream r would have produced from this point on.
+func (r *RNG) Save() State { return r.s }
+
+// Restore rewinds (or fast-forwards) the generator to a previously saved
+// state. The all-zero state is xoshiro's one invalid fixed point (the
+// stream would be constant zero), so it is rejected: restoring it leaves r
+// unchanged and returns false. Any state produced by Save on a generator
+// built with New is valid.
+func (r *RNG) Restore(s State) bool {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return false
+	}
+	r.s = s
+	return true
+}
+
+// FromState builds a generator positioned at a previously saved state; it
+// returns nil for the invalid all-zero state (see Restore).
+func FromState(s State) *RNG {
+	var r RNG
+	if !r.Restore(s) {
+		return nil
+	}
+	return &r
+}
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	s := &r.s

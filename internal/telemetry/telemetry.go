@@ -70,6 +70,10 @@ const (
 	// CtrExperiments counts experiment runs completed by
 	// internal/experiments.Run.
 	CtrExperiments
+	// CtrCheckpointsWritten counts durable run checkpoints written;
+	// CtrCheckpointBytes accumulates their sealed on-disk sizes.
+	CtrCheckpointsWritten
+	CtrCheckpointBytes
 	numCounters
 )
 
@@ -89,6 +93,9 @@ var counterNames = [numCounters]string{
 	CtrEvents:           "btsim_events_total",
 	CtrParTasks:         "par_tasks_total",
 	CtrExperiments:      "experiment_runs_total",
+
+	CtrCheckpointsWritten: "btsim_checkpoints_written_total",
+	CtrCheckpointBytes:    "btsim_checkpoint_bytes_total",
 }
 
 // GaugeID identifies a last-value gauge in the static registry.
@@ -140,6 +147,11 @@ const (
 	// PhaseExperiment is one whole experiment run
 	// (internal/experiments.Run).
 	PhaseExperiment
+	// PhaseCheckpointWrite is one durable checkpoint snapshot (encode +
+	// atomic write + rotation); PhaseCheckpointLoad is one resume load
+	// (read + decode + invariant audit).
+	PhaseCheckpointWrite
+	PhaseCheckpointLoad
 	numPhases
 )
 
@@ -151,6 +163,9 @@ var phaseNames = [numPhases]string{
 	PhaseSample:     "sample",
 	PhaseParTask:    "par_task",
 	PhaseExperiment: "experiment",
+
+	PhaseCheckpointWrite: "checkpoint_write",
+	PhaseCheckpointLoad:  "checkpoint_load",
 }
 
 // NumBuckets is the fixed histogram size: bucket i (< NumBuckets-1) counts

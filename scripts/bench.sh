@@ -1,7 +1,8 @@
 #!/bin/sh
 # Run the per-experiment benchmarks (every paper figure/table plus the
-# extensions, including the churn scenario catalog behind BenchmarkChurn
-# and the telemetry on/off differential behind BenchmarkSwarmStepTelemetry*)
+# extensions, including the churn scenario catalog behind BenchmarkChurn,
+# the telemetry on/off differential behind BenchmarkSwarmStepTelemetry*,
+# and the durable-checkpoint cost differential behind BenchmarkCheckpoint*)
 # and record the results as BENCH_results.json at the repository root, so
 # the performance trajectory is tracked across PRs. Benchmarks run at
 # -benchtime=3x so single-run noise doesn't dominate the comparisons.

@@ -1,0 +1,102 @@
+#!/bin/sh
+# Crash-recovery harness for the durable checkpoint path: run a
+# checkpointed btswarm scenario, SIGKILL it at a randomized point mid-run,
+# resume from the checkpoint advertised by the last complete marker line
+# in the truncated stream, and verify
+#
+#     truncated-prefix + resumed-tail  ==  uninterrupted golden stream
+#
+# byte for byte. This is the shell twin of cmd/btswarm's
+# TestCheckpointCLIKillResume: the Go test pins the contract under -race
+# in CI; this script exercises it against a real binary with a real
+# SIGKILL, at a crash point that varies run to run.
+#
+#   scripts/crashtest.sh                 # defaults: poisson, scale 6
+#   scripts/crashtest.sh flashcrowd 8    # scenario and scale override
+set -eu
+cd "$(dirname "$0")/.."
+
+scenario=${1:-poisson}
+scale=${2:-6}
+every=50
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT INT TERM
+
+echo "crashtest: building btswarm" >&2
+go build -o "$work/btswarm" ./cmd/btswarm
+
+common="-scenario $scenario -scenario-scale $scale -sample-every 1 \
+	-emit jsonl -checkpoint-every $every -checkpoint-retain -1"
+
+echo "crashtest: golden run ($scenario, scale $scale)" >&2
+"$work/btswarm" $common -checkpoint-dir "$work/golden-ck" >"$work/golden.jsonl"
+
+# Pick a randomized crash point: SIGKILL after 2-6 checkpoint markers,
+# capped below the run's total so the kill lands mid-run.
+rand=$(od -An -N2 -tu2 /dev/urandom | tr -dc '0-9')
+total=$(grep -c '^{"type":"checkpoint"' "$work/golden.jsonl")
+kill_after=$((2 + rand % 5))
+[ "$kill_after" -lt "$total" ] || kill_after=$((total - 1))
+if [ "$kill_after" -lt 1 ]; then
+	echo "crashtest: run too short ($total checkpoints); raise the scale" >&2
+	exit 1
+fi
+
+echo "crashtest: crash run, SIGKILL after $kill_after checkpoints" >&2
+: >"$work/crash.jsonl"
+"$work/btswarm" $common -checkpoint-dir "$work/crash-ck" >"$work/crash.jsonl" &
+pid=$!
+deadline=$((2400)) # 0.05s polls -> 120s
+while kill -0 "$pid" 2>/dev/null; do
+	seen=$(grep -c '^{"type":"checkpoint"' "$work/crash.jsonl" || true)
+	[ "${seen:-0}" -ge "$kill_after" ] && break
+	deadline=$((deadline - 1))
+	if [ "$deadline" -le 0 ]; then
+		echo "crashtest: timed out waiting for $kill_after checkpoints" >&2
+		kill -9 "$pid" 2>/dev/null || true
+		exit 1
+	fi
+	sleep 0.05
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# A SIGKILL can tear the final line mid-write: drop it unless the stream
+# ends in a newline, then cut at the last complete checkpoint marker.
+if [ -s "$work/crash.jsonl" ] &&
+	[ "$(tail -c1 "$work/crash.jsonl" | wc -l)" -eq 0 ]; then
+	sed '$d' "$work/crash.jsonl" >"$work/crash.trim"
+else
+	cp "$work/crash.jsonl" "$work/crash.trim"
+fi
+set -- $(awk '/^\{"type":"checkpoint","round":[0-9]+\}$/ { n = NR; line = $0 }
+	END { if (!n) exit 1; gsub(/[^0-9]/, "", line); print n, line }' \
+	"$work/crash.trim") || {
+	echo "crashtest: no complete checkpoint marker in the truncated stream" >&2
+	exit 1
+}
+lastline=$1
+r=$2
+head -n "$lastline" "$work/crash.trim" >"$work/prefix.jsonl"
+
+# The marker for round r promises ckpt-(r+1) is already durable on disk.
+ck=$(printf 'ckpt-%09d.ckpt' $((r + 1)))
+if [ ! -f "$work/crash-ck/$ck" ]; then
+	echo "crashtest: FAIL — marker round $r emitted but $ck missing" >&2
+	exit 1
+fi
+
+echo "crashtest: resuming from $ck (marker round $r)" >&2
+"$work/btswarm" -resume "$work/crash-ck/$ck" -emit jsonl \
+	-checkpoint-every "$every" -checkpoint-dir "$work/crash-ck" \
+	-checkpoint-retain -1 >"$work/resumed.jsonl"
+
+cat "$work/prefix.jsonl" "$work/resumed.jsonl" >"$work/stitched.jsonl"
+if cmp -s "$work/stitched.jsonl" "$work/golden.jsonl"; then
+	echo "crashtest: PASS — stitched stream is byte-identical to the golden run"
+else
+	echo "crashtest: FAIL — stitched stream differs from the golden run" >&2
+	diff "$work/golden.jsonl" "$work/stitched.jsonl" >&2 | head -20 || true
+	exit 1
+fi
