@@ -8,9 +8,13 @@ package stratmatch
 // experiments at paper scale.
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
 	"testing"
 
 	"stratmatch/internal/experiments"
+	"stratmatch/internal/trackerd"
 )
 
 // BenchScale trades fidelity for speed in benchmarks; cmd/stratsim defaults
@@ -176,6 +180,59 @@ func benchCheckpoint(b *testing.B, every int) {
 
 func BenchmarkCheckpoint(b *testing.B)    { benchCheckpoint(b, 10) }
 func BenchmarkCheckpointOff(b *testing.B) { benchCheckpoint(b, 0) }
+
+// BenchmarkTrackerdAnnounce times one served announce against the tracker
+// daemon's concurrent registry (no HTTP): the registry lock, the roster
+// lookup and the shared seed-deterministic handout policy.
+func BenchmarkTrackerdAnnounce(b *testing.B) {
+	g := trackerd.NewRegistry(trackerd.RegistryConfig{Seed: 7})
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("p%d", i)
+		g.Announce("bench", keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Announce("bench", keys[i%len(keys)])
+	}
+}
+
+// BenchmarkTrackerdSustainedLoad measures the daemon end to end: the load
+// generator replays announce traffic (with churn) over real HTTP against a
+// live server, and the achieved throughput and latency quantiles land in
+// BENCH_results.json as custom units — benchjson --compare checks them
+// direction-aware (announces/sec falling or p99 rising past 20% is a
+// regression).
+func BenchmarkTrackerdSustainedLoad(b *testing.B) {
+	srv := trackerd.NewServer(trackerd.Config{Seed: 9, CheckpointDir: b.TempDir()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var last trackerd.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg := trackerd.LoadGen{
+			BaseURL:     ts.URL,
+			Swarm:       fmt.Sprintf("bench-%d", i), // fresh swarm per iteration: steady registration load
+			Peers:       128,
+			Concurrency: 8,
+			Total:       2000,
+			Churn:       16,
+		}
+		rep, err := lg.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 {
+			b.Fatalf("%d announce errors under load", rep.Errors)
+		}
+		last = rep
+	}
+	b.StopTimer()
+	b.ReportMetric(last.PerSec, "announces/sec")
+	b.ReportMetric(float64(last.P50)/1e6, "p50-ms")
+	b.ReportMetric(float64(last.P99)/1e6, "p99-ms")
+}
 
 // BenchmarkStableMatching times the core solver itself on an Erdős–Rényi
 // network of 5000 peers (not tied to a figure; the primitive every

@@ -9,8 +9,12 @@
 //
 // With --compare old.json it additionally diffs the fresh results against a
 // previous document and prints a report to stderr flagging >20% ns/op or
-// B/op regressions. The report is informational: the exit code stays 0, so
-// CI can surface regressions without blocking merges on benchmark noise.
+// B/op regressions. Custom units reported via b.ReportMetric are captured
+// too and compared direction-aware: throughput units ("/sec", "/s",
+// "/op" counts excluded) regress when they shrink, everything else
+// (latencies, sizes) when it grows. The report is informational: the exit
+// code stays 0, so CI can surface regressions without blocking merges on
+// benchmark noise.
 package main
 
 import (
@@ -18,7 +22,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,6 +37,9 @@ type Benchmark struct {
 	// BytesPerOp / AllocsPerOp are present only with -benchmem.
 	BytesPerOp  *int64 `json:"b_per_op,omitempty"`
 	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom units the benchmark reported via b.ReportMetric
+	// (e.g. "announces/sec", "p99-ms"), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Document is the emitted JSON shape.
@@ -79,7 +88,7 @@ func run(comparePath string) error {
 		return err
 	}
 	if comparePath != "" {
-		if err := compare(doc, comparePath); err != nil {
+		if err := compare(doc, comparePath, os.Stderr); err != nil {
 			// A broken baseline must not fail the run: the comparison is a
 			// non-blocking report by contract.
 			fmt.Fprintln(os.Stderr, "benchjson: compare:", err)
@@ -93,8 +102,9 @@ func run(comparePath string) error {
 const regressionThreshold = 0.20
 
 // compare diffs doc against the baseline document at path and writes a
-// regression report to stderr. It never alters the process exit code.
-func compare(doc Document, path string) error {
+// regression report to w (stderr in the CLI). It never alters the process
+// exit code.
+func compare(doc Document, path string, w io.Writer) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -108,33 +118,57 @@ func compare(doc Document, path string) error {
 		baseline[b.Name] = b
 	}
 	regressions := 0
-	fmt.Fprintf(os.Stderr, "benchjson: comparing %d benchmarks against %s (flagging >%.0f%% ns/op or B/op growth)\n",
+	fmt.Fprintf(w, "benchjson: comparing %d benchmarks against %s (flagging >%.0f%% regressions; custom units direction-aware)\n",
 		len(doc.Benchmarks), path, regressionThreshold*100)
 	seen := make(map[string]bool, len(doc.Benchmarks))
 	for _, b := range doc.Benchmarks {
 		seen[b.Name] = true
 		prev, ok := baseline[b.Name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "  NEW        %-28s %12.0f ns/op\n", b.Name, b.NsPerOp)
+			fmt.Fprintf(w, "  NEW        %-28s %12.0f ns/op\n", b.Name, b.NsPerOp)
 			continue
 		}
 		flagged := false
 		if prev.NsPerOp > 0 && b.NsPerOp > prev.NsPerOp*(1+regressionThreshold) {
-			fmt.Fprintf(os.Stderr, "  REGRESSION %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+			fmt.Fprintf(w, "  REGRESSION %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
 				b.Name, prev.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/prev.NsPerOp-1))
 			regressions++
 			flagged = true
 		}
 		if prev.BytesPerOp != nil && b.BytesPerOp != nil && *prev.BytesPerOp > 0 &&
 			float64(*b.BytesPerOp) > float64(*prev.BytesPerOp)*(1+regressionThreshold) {
-			fmt.Fprintf(os.Stderr, "  REGRESSION %-28s B/op  %12d -> %12d (%+.1f%%)\n",
+			fmt.Fprintf(w, "  REGRESSION %-28s B/op  %12d -> %12d (%+.1f%%)\n",
 				b.Name, *prev.BytesPerOp, *b.BytesPerOp,
 				100*(float64(*b.BytesPerOp)/float64(*prev.BytesPerOp)-1))
 			regressions++
 			flagged = true
 		}
+		// Custom metrics, direction-aware: a throughput unit regresses by
+		// falling, a latency/size unit by rising. Sorted for stable output.
+		units := make([]string, 0, len(b.Metrics))
+		for unit := range b.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			v := b.Metrics[unit]
+			pv, ok := prev.Metrics[unit]
+			if !ok || pv <= 0 {
+				continue
+			}
+			worse := v > pv*(1+regressionThreshold)
+			if higherIsBetter(unit) {
+				worse = v < pv*(1-regressionThreshold)
+			}
+			if worse {
+				fmt.Fprintf(w, "  REGRESSION %-28s %-14s %12.2f -> %12.2f (%+.1f%%)\n",
+					b.Name, unit, pv, v, 100*(v/pv-1))
+				regressions++
+				flagged = true
+			}
+		}
 		if !flagged && prev.NsPerOp > 0 && b.NsPerOp < prev.NsPerOp*(1-regressionThreshold) {
-			fmt.Fprintf(os.Stderr, "  improved   %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
+			fmt.Fprintf(w, "  improved   %-28s ns/op %12.0f -> %12.0f (%+.1f%%)\n",
 				b.Name, prev.NsPerOp, b.NsPerOp, 100*(b.NsPerOp/prev.NsPerOp-1))
 		}
 	}
@@ -143,14 +177,14 @@ func compare(doc Document, path string) error {
 	// count them as regressions so they cannot hide behind a clean summary.
 	for _, b := range old.Benchmarks {
 		if !seen[b.Name] {
-			fmt.Fprintf(os.Stderr, "  MISSING    %-28s present in baseline, absent from this run\n", b.Name)
+			fmt.Fprintf(w, "  MISSING    %-28s present in baseline, absent from this run\n", b.Name)
 			regressions++
 		}
 	}
 	if regressions == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no regressions past the threshold")
+		fmt.Fprintln(w, "benchjson: no regressions past the threshold")
 	} else {
-		fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) past the threshold (report only; not failing the build)\n", regressions)
+		fmt.Fprintf(w, "benchjson: %d regression(s) past the threshold (report only; not failing the build)\n", regressions)
 	}
 	return nil
 }
@@ -177,18 +211,31 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	}
 	b := Benchmark{Name: name, Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseInt(fields[i], 10, 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
+		switch unit := fields[i+1]; unit {
 		case "B/op":
-			val := v
-			b.BytesPerOp = &val
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				b.BytesPerOp = &v
+			}
 		case "allocs/op":
-			val := v
-			b.AllocsPerOp = &val
+			if v, err := strconv.ParseInt(fields[i], 10, 64); err == nil {
+				b.AllocsPerOp = &v
+			}
+		default:
+			// Anything else is a b.ReportMetric custom unit.
+			if v, err := strconv.ParseFloat(fields[i], 64); err == nil {
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
 		}
 	}
 	return b, true
+}
+
+// higherIsBetter classifies a custom metric unit's direction: rates
+// ("announces/sec", "MB/s", "ops/sec") regress when they shrink; everything
+// else — latencies ("p99-ms"), sizes, counts — regresses when it grows.
+func higherIsBetter(unit string) bool {
+	return strings.Contains(unit, "/sec") || strings.HasSuffix(unit, "/s")
 }

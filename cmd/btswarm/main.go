@@ -14,6 +14,8 @@
 //	btswarm -spec flash.json -emit jsonl                 # run a spec file, stream JSONL
 //	btswarm -scenario poisson -checkpoint-every 100 -checkpoint-dir ck   # durable run
 //	btswarm -resume ck -checkpoint-every 100 -checkpoint-dir ck          # continue it
+//	btswarm -serve :8080                                 # tracker daemon (announce/scrape/runs)
+//	btswarm loadgen -addr :8080 -total 10000 -rate 2000  # drive announce load at it
 //
 // With -replicas N, N independent swarms (seeds seed, seed+1, ...) run
 // across -workers goroutines and the stratification statistics are
@@ -62,6 +64,7 @@ import (
 
 	"stratmatch/internal/bandwidth"
 	"stratmatch/internal/btsim"
+	"stratmatch/internal/emit"
 	"stratmatch/internal/par"
 	"stratmatch/internal/rng"
 	"stratmatch/internal/stats"
@@ -76,6 +79,11 @@ func main() {
 }
 
 func run(args []string) error {
+	// Subcommand dispatch precedes flag parsing: `btswarm loadgen ...` has
+	// its own flag set (see serve.go).
+	if len(args) > 0 && args[0] == "loadgen" {
+		return runLoadgen(args[1:])
+	}
 	fs := flag.NewFlagSet("btswarm", flag.ContinueOnError)
 	var (
 		leechers  = fs.Int("leechers", 400, "number of leechers")
@@ -99,11 +107,13 @@ func run(args []string) error {
 		listSc    = fs.Bool("list-scenarios", false, "list the churn scenario catalog and exit")
 		specPath  = fs.String("spec", "", "load and run a JSON scenario spec from this file (use /dev/stdin to pipe)")
 		dumpSpec  = fs.String("dump-spec", "", "print the named catalog scenario as a JSON spec and exit")
-		emit      = fs.String("emit", "text", "scenario output format: text (series table + report) or jsonl (stream samples/events/summary as JSON lines)")
+		emitFlag  = fs.String("emit", "text", "scenario output format: text (series table + report) or jsonl (stream samples/events/summary as JSON lines)")
 		ckEvery   = fs.Int("checkpoint-every", 0, "write a durable checkpoint of the scenario run every N rounds (0 = off; requires -checkpoint-dir)")
 		ckDir     = fs.String("checkpoint-dir", "", "directory for scenario checkpoints (created if missing); also enables a graceful SIGINT/SIGTERM checkpoint")
 		ckRetain  = fs.Int("checkpoint-retain", 0, "checkpoint files to keep, oldest rotated away (0 = default 3; negative = keep all)")
 		resume    = fs.String("resume", "", "resume a scenario run from a checkpoint file, or the newest checkpoint in a directory, using the spec embedded in it")
+		serveAddr = fs.String("serve", "", "run the tracker daemon on this address (host:port; :0 picks a port) instead of a simulation: /announce, /scrape, POST /runs, /metrics")
+		serveRuns = fs.Int("serve-runs", 2, "daemon worker-pool size: scenario runs executing concurrently (submissions beyond it queue)")
 		telFlag   = fs.Bool("telemetry", false, "record runtime telemetry (phase durations, counters, gauges); jsonl runs emit telemetry records, text runs print a summary to stderr")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics (Prometheus), /debug/vars (expvar) and /debug/pprof/ on this address while running (implies -telemetry)")
 		tracePath = fs.String("trace", "", "write a runtime/trace with per-phase user regions to this file, for go tool trace (implies -telemetry)")
@@ -118,8 +128,8 @@ func run(args []string) error {
 	if *scScale <= 0 {
 		return fmt.Errorf("-scenario-scale %g: must be > 0", *scScale)
 	}
-	if *emit != "text" && *emit != "jsonl" {
-		return fmt.Errorf("-emit %q: must be text or jsonl", *emit)
+	if *emitFlag != "text" && *emitFlag != "jsonl" {
+		return fmt.Errorf("-emit %q: must be text or jsonl", *emitFlag)
 	}
 	if *ckEvery < 0 {
 		return fmt.Errorf("-checkpoint-every %d: must be >= 0", *ckEvery)
@@ -129,6 +139,22 @@ func run(args []string) error {
 	}
 	if *resume != "" && (*specPath != "" || *scenario != "") {
 		return fmt.Errorf("-resume carries its own embedded spec; it cannot be combined with -scenario or -spec")
+	}
+	if *serveAddr != "" {
+		// The daemon is a long-running service, not a run: every offline run
+		// mode is a conflict, not a silently ignored flag.
+		switch {
+		case *dumpSpec != "":
+			return fmt.Errorf("-serve and -dump-spec are mutually exclusive")
+		case *scenario != "":
+			return fmt.Errorf("-serve runs a daemon; it cannot be combined with -scenario (submit specs with POST /runs)")
+		case *specPath != "":
+			return fmt.Errorf("-serve runs a daemon; it cannot be combined with -spec (submit specs with POST /runs)")
+		case *resume != "":
+			return fmt.Errorf("-serve cannot resume a checkpoint; run `btswarm -resume` offline instead")
+		case *emitFlag != "text":
+			return fmt.Errorf("-serve streams jsonl over POST /runs; -emit does not apply")
+		}
 	}
 	ck := ckptConfig{every: *ckEvery, dir: *ckDir, retain: *ckRetain, resume: *resume}
 	// -debug-addr and -trace are useless without a recorder, so they imply
@@ -150,6 +176,24 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	if *serveAddr != "" {
+		if tel == nil {
+			// /metrics is part of the daemon surface, so the daemon always
+			// records.
+			tel = telemetry.New()
+		}
+		par.SetTelemetry(tel)
+		defer par.SetTelemetry(nil)
+		return runServe(serveConfig{
+			addr:    *serveAddr,
+			maxRuns: *serveRuns,
+			seed:    *seed,
+			policy:  btsim.HandoutPolicy{NeighborCount: *neighbors},
+			ckDir:   *ckDir,
+			ckEvery: *ckEvery,
+			tel:     tel,
+		})
+	}
 	if *dumpSpec != "" {
 		// -dump-spec prints a spec and exits; combining it with a run mode
 		// would silently ignore the run, so it is an error instead.
@@ -158,8 +202,8 @@ func run(args []string) error {
 			return fmt.Errorf("-dump-spec and -spec are mutually exclusive")
 		case *scenario != "":
 			return fmt.Errorf("-dump-spec and -scenario are mutually exclusive")
-		case *emit != "text":
-			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -emit %s", *emit)
+		case *emitFlag != "text":
+			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -emit %s", *emitFlag)
 		case tel != nil:
 			return fmt.Errorf("-dump-spec prints a JSON spec, not a run; it cannot be combined with -telemetry, -debug-addr or -trace")
 		}
@@ -224,14 +268,14 @@ func run(args []string) error {
 				spec.Swarm.Seed = *seed
 			}
 		})
-		return runSpec(spec, *scSample, ck, *emit, *verbose, tel)
+		return runSpec(spec, *scSample, ck, *emitFlag, *verbose, tel)
 	}
 	if *scenario != "" {
 		spec, err := btsim.NamedSpec(*scenario, *seed, *scScale)
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, *scSample, ck, *emit, *verbose, tel)
+		return runSpec(spec, *scSample, ck, *emitFlag, *verbose, tel)
 	}
 	if *resume != "" {
 		// The checkpoint embeds the exact effective spec (scaling and
@@ -242,10 +286,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, 0, ck, *emit, *verbose, tel)
+		return runSpec(spec, 0, ck, *emitFlag, *verbose, tel)
 	}
-	if *emit != "text" {
-		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emit)
+	if *emitFlag != "text" {
+		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emitFlag)
 	}
 	if ck.every > 0 || ck.dir != "" {
 		return fmt.Errorf("-checkpoint-every and -checkpoint-dir only apply to -scenario, -spec or -resume runs")
@@ -437,7 +481,7 @@ type ckptConfig struct {
 // run at the next round boundary, writes a final resume-from-here
 // checkpoint, and exits cleanly (status 0) — kill -9 loses at most the
 // rounds since the last periodic checkpoint.
-func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emit string, verbose bool, tel *telemetry.Recorder) error {
+func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emitMode string, verbose bool, tel *telemetry.Recorder) error {
 	if sampleEvery > 0 {
 		spec.SampleEvery = sampleEvery
 	}
@@ -478,16 +522,17 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emit strin
 		}
 		return err
 	}
-	if emit == "jsonl" {
+	if emitMode == "jsonl" {
 		// Fault counters only appear in the stream when the spec injects
 		// faults, so fault-free jsonl output stays byte-identical; telemetry
 		// records are separate lines, leaving sample/event/done rows
-		// untouched.
-		em := &jsonlEmitter{enc: json.NewEncoder(os.Stdout), withFaults: spec.HasFaults()}
+		// untouched. The emitter itself lives in internal/emit — the daemon
+		// streams the identical format over POST /runs.
+		em := emit.NewTelemetry(os.Stdout, spec.HasFaults(), nil)
 		if err := sc.RunObserver(em); err != nil {
 			return finish(err)
 		}
-		return em.err
+		return em.Err()
 	}
 	res, err := sc.Run()
 	if err != nil {
@@ -511,140 +556,6 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emit strin
 	fmt.Println()
 	report(res.Final)
 	return nil
-}
-
-// jfloat marshals NaN (a legitimate "no data" sentinel in the series) as
-// JSON null, which encoding/json otherwise rejects.
-type jfloat float64
-
-func (f jfloat) MarshalJSON() ([]byte, error) {
-	if math.IsNaN(float64(f)) {
-		return []byte("null"), nil
-	}
-	return json.Marshal(float64(f))
-}
-
-// jsonlEmitter is the streaming Observer behind -emit jsonl: one JSON line
-// per sample ("sample"), per scenario event ("event"), and a closing
-// summary ("done"). It holds no series state. withFaults extends samples
-// and the summary with the fault-injection counters; fault-free streams
-// keep the original shape byte for byte.
-type jsonlEmitter struct {
-	enc        *json.Encoder
-	withFaults bool
-	err        error
-}
-
-func (e *jsonlEmitter) encode(v any) {
-	if err := e.enc.Encode(v); err != nil && e.err == nil {
-		e.err = err
-	}
-}
-
-// jsonlSample is the shared shape of a "sample" line; the fault-mode
-// variant below embeds it, so the fault-free field order is frozen.
-type jsonlSample struct {
-	Type       string    `json:"type"`
-	Round      int       `json:"round"`
-	Present    int       `json:"present"`
-	Leechers   int       `json:"leechers"`
-	Seeds      int       `json:"seeds"`
-	Joined     int       `json:"joined"`
-	Departed   int       `json:"departed"`
-	Completed  int       `json:"completed"`
-	MeanDegree jfloat    `json:"mean_degree"`
-	StratCorr  jfloat    `json:"strat_corr"`
-	ShareRatio [3]jfloat `json:"share_ratio_by_class"`
-}
-
-func (e *jsonlEmitter) OnSample(pt btsim.SeriesPoint) {
-	row := jsonlSample{
-		Type: "sample", Round: pt.Round, Present: pt.Present,
-		Leechers: pt.Leechers, Seeds: pt.Seeds, Joined: pt.Joined,
-		Departed: pt.Departed, Completed: pt.Completed,
-		MeanDegree: jfloat(pt.MeanDegree), StratCorr: jfloat(pt.StratCorr),
-		ShareRatio: [3]jfloat{
-			jfloat(pt.ShareRatioByClass[0]),
-			jfloat(pt.ShareRatioByClass[1]),
-			jfloat(pt.ShareRatioByClass[2]),
-		},
-	}
-	if !e.withFaults {
-		e.encode(row)
-		return
-	}
-	e.encode(struct {
-		jsonlSample
-		StaleEdges       int `json:"stale_edges"`
-		Crashed          int `json:"crashed"`
-		AnnounceFailures int `json:"announce_failures"`
-		AnnounceRetries  int `json:"announce_retries"`
-	}{
-		jsonlSample: row, StaleEdges: pt.StaleEdges, Crashed: pt.Crashed,
-		AnnounceFailures: pt.AnnounceFailures, AnnounceRetries: pt.AnnounceRetries,
-	})
-}
-
-// OnTelemetry emits a "telemetry" line after each sample on telemetry-on
-// runs (the runner never calls it otherwise, so telemetry-off streams are
-// byte-identical to earlier versions).
-func (e *jsonlEmitter) OnTelemetry(round int, snap btsim.TelemetrySnapshot) {
-	e.encode(struct {
-		Type  string `json:"type"`
-		Round int    `json:"round"`
-		btsim.TelemetrySnapshot
-	}{Type: "telemetry", Round: round, TelemetrySnapshot: snap})
-}
-
-func (e *jsonlEmitter) OnEvent(ev btsim.RunEvent) {
-	if ev.Kind == "checkpoint" {
-		// Checkpoints get their own record type: a consumer (or the crash
-		// harness) scanning for the last durable point greps one stable
-		// shape, and the file for round+1 is guaranteed on disk by the time
-		// this line is emitted.
-		e.encode(struct {
-			Type  string `json:"type"`
-			Round int    `json:"round"`
-		}{Type: "checkpoint", Round: ev.Round})
-		return
-	}
-	e.encode(struct {
-		Type string `json:"type"`
-		btsim.RunEvent
-	}{Type: "event", RunEvent: ev})
-}
-
-// jsonlDone is the shared shape of the closing "done" line.
-type jsonlDone struct {
-	Type              string `json:"type"`
-	Round             int    `json:"round"`
-	Present           int    `json:"present"`
-	PresentSeeds      int    `json:"present_seeds"`
-	CompletedLeechers int    `json:"completed_leechers"`
-	TotalJoined       int    `json:"total_joined"`
-	TotalDeparted     int    `json:"total_departed"`
-	MeanCompletion    jfloat `json:"mean_completion_round"`
-	StratCorrelation  jfloat `json:"strat_correlation"`
-	MeanAbsRankOffset jfloat `json:"mean_abs_rank_offset"`
-}
-
-func (e *jsonlEmitter) OnDone(m btsim.Metrics) {
-	row := jsonlDone{
-		Type: "done", Round: m.Round, Present: m.Present,
-		PresentSeeds: m.PresentSeeds, CompletedLeechers: m.CompletedLeechers,
-		TotalJoined: len(m.Peers), TotalDeparted: m.TotalDeparted,
-		MeanCompletion:    jfloat(m.MeanCompletionRound),
-		StratCorrelation:  jfloat(m.StratCorrelation),
-		MeanAbsRankOffset: jfloat(m.MeanAbsRankOffset),
-	}
-	if !e.withFaults {
-		e.encode(row)
-		return
-	}
-	e.encode(struct {
-		jsonlDone
-		TotalCrashed int `json:"total_crashed"`
-	}{jsonlDone: row, TotalCrashed: m.TotalCrashed})
 }
 
 func report(m btsim.Metrics) {

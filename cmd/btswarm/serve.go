@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stratmatch/internal/btsim"
+	"stratmatch/internal/telemetry"
+	"stratmatch/internal/trackerd"
+)
+
+// serveConfig carries the -serve flags into the daemon.
+type serveConfig struct {
+	addr     string
+	maxRuns  int
+	seed     uint64
+	policy   btsim.HandoutPolicy
+	ckDir    string
+	ckEvery  int
+	tel      *telemetry.Recorder
+	shutdown <-chan struct{} // tests close this instead of sending a signal
+}
+
+// runServe runs the tracker daemon until SIGINT/SIGTERM, then drains: new
+// run submissions are rejected, every in-flight run is interrupted at its
+// next round boundary and snapshots a resume-from-here checkpoint, and a
+// resume hint is printed per suspended run before a clean exit (status 0).
+func runServe(cfg serveConfig) error {
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("-serve %s: %w", cfg.addr, err)
+	}
+	srv := trackerd.NewServer(trackerd.Config{
+		Seed:            cfg.seed,
+		Policy:          cfg.policy,
+		MaxRuns:         cfg.maxRuns,
+		CheckpointDir:   cfg.ckDir,
+		CheckpointEvery: cfg.ckEvery,
+		Telemetry:       cfg.tel,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	// The bound address line is the daemon's readiness signal: with -serve
+	// :0 it is the only way callers (CI, tests) learn the port.
+	fmt.Fprintf(os.Stderr, "btswarm: tracker daemon on http://%s (/announce, /scrape, /runs, /metrics)\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "btswarm: %v: draining runs\n", sig)
+	case <-cfg.shutdown:
+		fmt.Fprintln(os.Stderr, "btswarm: shutdown: draining runs")
+	}
+	suspended := srv.Drain()
+	for _, st := range suspended {
+		fmt.Fprintf(os.Stderr, "btswarm: run %d (%s) suspended; resume with -resume %s\n",
+			st.ID, st.Name, st.Resume)
+	}
+	_ = hs.Close()
+	return nil
+}
+
+// runLoadgen is the `btswarm loadgen` subcommand: replay announce traffic
+// against a live daemon and report achieved announces/sec plus latency
+// quantiles.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("btswarm loadgen", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "http://127.0.0.1:8080", "daemon base URL (http://host:port or host:port)")
+		swarm = fs.String("swarm", "loadgen", "swarm name to announce into")
+		peers = fs.Int("peers", 256, "distinct peer keys cycled through")
+		rate  = fs.Float64("rate", 0, "offered announces/sec across all workers (0 = unpaced)")
+		conc  = fs.Int("concurrency", 8, "in-flight request workers")
+		total = fs.Int("total", 0, "total announces to send (0 = bounded by -duration; 5000 when neither is set)")
+		dur   = fs.Duration("duration", 0, "replay wall-time bound (0 = bounded by -total)")
+		churn = fs.Int("churn", 0, "every k-th announce is an event=stopped departure (0 = announces only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("loadgen: unexpected argument %q", fs.Arg(0))
+	}
+	if *total == 0 && *dur == 0 {
+		*total = 5000
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	lg := trackerd.LoadGen{
+		BaseURL:     base,
+		Swarm:       *swarm,
+		Peers:       *peers,
+		Rate:        *rate,
+		Concurrency: *conc,
+		Total:       *total,
+		Duration:    *dur,
+		Churn:       *churn,
+		Client:      &http.Client{Timeout: 30 * time.Second},
+	}
+	rep, err := lg.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	if rep.Announces == 0 {
+		return fmt.Errorf("loadgen: no announce succeeded (%d errors)", rep.Errors)
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"stratmatch/internal/btsim"
+)
+
+// TestServeFlagValidation pins -serve's mutual exclusion with every offline
+// run mode, and the loadgen subcommand's argument checking.
+func TestServeFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-serve", ":0", "-scenario", "poisson"},
+		{"-serve", ":0", "-spec", "x.json"},
+		{"-serve", ":0", "-resume", "ck"},
+		{"-serve", ":0", "-dump-spec", "poisson"},
+		{"-serve", ":0", "-emit", "jsonl"},
+		{"loadgen", "stray-arg"},
+		{"loadgen", "-rate", "notanumber"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+var daemonAddrLine = regexp.MustCompile(`tracker daemon on http://([^ ]+) `)
+
+// startDaemon spawns a real btswarm daemon child on an ephemeral port and
+// returns its base URL plus a getter for the accumulated stderr.
+func startDaemon(t *testing.T, extraArgs ...string) (*exec.Cmd, string, func() string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-test.run=TestHelperBtswarmRun", "--", "-serve", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "GO_BTSWARM_HELPER=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cmd.Process.Kill() })
+
+	// The bound-address line is the readiness signal; everything after it
+	// keeps accumulating for the drain-hint assertions.
+	var (
+		mu     sync.Mutex
+		tail   strings.Builder
+		addrCh = make(chan string, 1)
+	)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := daemonAddrLine.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+			mu.Lock()
+			tail.WriteString(line + "\n")
+			mu.Unlock()
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatal("daemon exited before printing its address")
+		}
+		return cmd, "http://" + addr, func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			return tail.String()
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not print its address within 30s")
+	}
+	panic("unreachable")
+}
+
+// TestServeDaemonEndToEnd is the CLI smoke: a real daemon process serves a
+// submitted run byte-identically to the offline CLI, answers loadgen
+// traffic and /metrics, and a SIGTERM under load drains to a resumable
+// checkpoint, prints the resume hint, and exits 0 — with the offline
+// -resume completing the interrupted run.
+func TestServeDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a daemon child process")
+	}
+	dir := t.TempDir()
+	ckRoot := filepath.Join(dir, "ck")
+	cmd, base, stderrTail := startDaemon(t, "-checkpoint-dir", ckRoot, "-serve-runs", "2")
+
+	// 1. A submitted catalog run streams exactly the offline CLI's bytes.
+	spec, err := btsim.NamedSpec("poisson", 46, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specPath := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(specPath, specJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	offline := captureStdout(t, func() error {
+		return run([]string{"-spec", specPath, "-emit", "jsonl"})
+	})
+	resp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /runs: %d %s", resp.StatusCode, streamed)
+	}
+	if string(streamed) != offline {
+		t.Fatalf("daemon stream differs from offline CLI: %d vs %d bytes", len(streamed), len(offline))
+	}
+
+	// 2. The loadgen subcommand drives it and reports throughput.
+	lgOut := captureStdout(t, func() error {
+		return run([]string{"loadgen", "-addr", base, "-total", "200", "-concurrency", "4", "-peers", "32", "-churn", "9"})
+	})
+	if !strings.Contains(lgOut, "announces/sec") {
+		t.Fatalf("loadgen output: %q", lgOut)
+	}
+
+	// 3. The telemetry surface counts it all.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"trackerd_announces_total", "trackerd_runs_total"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics lacks %s:\n%.400s", want, metrics)
+		}
+	}
+
+	// 4. SIGTERM under load: a long run is mid-stream when the signal
+	// lands; the daemon suspends it, prints the resume hint, and exits 0.
+	long := btsim.ScenarioSpec{
+		Name:        "longrun",
+		Swarm:       btsim.Options{Leechers: 30, Seeds: 2, Pieces: 64, Seed: 47},
+		Rounds:      200000,
+		SampleEvery: 1,
+	}
+	longJSON, err := json.Marshal(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lresp, err := http.Post(base+"/runs", "application/json", bytes.NewReader(longJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	sc := bufio.NewScanner(lresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	samples, lastLine := 0, ""
+	for sc.Scan() {
+		lastLine = sc.Text()
+		if strings.Contains(lastLine, `"type":"sample"`) {
+			samples++
+			if samples == 3 {
+				if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if samples < 3 {
+		t.Fatalf("stream ended after %d samples without reaching the signal point", samples)
+	}
+	var trailer struct {
+		Type   string `json:"type"`
+		Resume string `json:"resume"`
+	}
+	if err := json.Unmarshal([]byte(lastLine), &trailer); err != nil || trailer.Type != "suspended" {
+		t.Fatalf("stream did not end with suspended trailer: %q", lastLine)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v\nstderr:\n%s", err, stderrTail())
+	}
+	hint := fmt.Sprintf("resume with -resume %s", trailer.Resume)
+	if !strings.Contains(stderrTail(), hint) {
+		t.Fatalf("daemon stderr lacks resume hint %q:\n%s", hint, stderrTail())
+	}
+
+	// 5. The advertised checkpoint resumes offline and finishes the run.
+	resumed := captureStdout(t, func() error {
+		return run([]string{"-resume", trailer.Resume, "-emit", "jsonl"})
+	})
+	if !strings.Contains(resumed, `"type":"done"`) {
+		t.Fatalf("resumed run did not complete; tail: %.300s", resumed[max(0, len(resumed)-300):])
+	}
+}

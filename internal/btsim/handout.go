@@ -1,0 +1,124 @@
+package btsim
+
+import "stratmatch/internal/rng"
+
+// HandoutState is the tracker-side view the neighbor handout policy samples
+// from: a dense present-set supporting uniform indexing, plus the degree,
+// reachability and wiring operations on peer ids. Swarm implements it over
+// its CSR slot arrays (see swarmHandout); the service registry in
+// internal/trackerd implements it over per-swarm adjacency lists. Both feed
+// the same HandoutPolicy, so a served announce draws the exact RNG sequence
+// an in-sim announce would.
+type HandoutState interface {
+	// PresentCount is the number of currently registered peers.
+	PresentCount() int
+	// PresentAt returns the id at index i of the present set (any fixed
+	// order; the policy samples indices uniformly).
+	PresentAt(i int) int32
+	// DegreeOf returns a present peer's current connection count.
+	DegreeOf(id int32) int
+	// SameSide reports whether the tracker may introduce a to b (false
+	// only while a network partition separates them).
+	SameSide(a, b int32) bool
+	// Connected reports whether a and b are already neighbors.
+	Connected(a, b int32) bool
+	// Connect wires a symmetric connection between a and b. The policy
+	// guarantees a != b, headroom on both sides and no existing edge.
+	Connect(a, b int32)
+}
+
+// HandoutPolicy is the tracker's seed-deterministic neighbor handout: the
+// rejection-sampling selection loop extracted from Swarm.Announce so the
+// in-sim tracker and the trackerd service registry share one policy.
+// Handout consumes randomness only through r.Intn on the present count, in
+// a fixed draw order, so two states exposing identical present sequences
+// produce identical neighbor sets from identical RNG streams.
+type HandoutPolicy struct {
+	// NeighborCount is the degree the announcer is topped up to (incoming
+	// introductions count towards it).
+	NeighborCount int
+	// MaxNeighbors caps any peer's degree: saturated candidates are
+	// skipped and the announcer stops once it reaches the cap.
+	MaxNeighbors int
+}
+
+// Handout hands peer id uniformly random present peers until it holds
+// NeighborCount connections, skipping the announcer itself, unreachable
+// (partitioned-off) peers, existing neighbors and peers at the degree cap.
+// The attempt budget bounds rejection sampling in saturated swarms; the
+// number of connections added is returned.
+func (hp HandoutPolicy) Handout(st HandoutState, r *rng.RNG, id int32) int {
+	deg := st.DegreeOf(id)
+	need := hp.NeighborCount - deg
+	// Every neighbor is present, so the announcer can add at most the
+	// present peers it is not yet connected to — without this cap a peer
+	// in a drained swarm would burn its whole attempt budget every
+	// re-announce chasing an unreachable target.
+	if achievable := st.PresentCount() - 1 - deg; need > achievable {
+		need = achievable
+	}
+	if need <= 0 {
+		return 0
+	}
+	added := 0
+	// Rejection sampling with a bounded attempt budget: when most of the
+	// swarm is already saturated the announcer settles for fewer neighbors
+	// and retries at its next re-announce instead of spinning.
+	for attempts := 16*need + 16; need > 0 && attempts > 0; attempts-- {
+		if st.DegreeOf(id) >= hp.MaxNeighbors {
+			break
+		}
+		cand := st.PresentAt(r.Intn(st.PresentCount()))
+		if cand == id {
+			continue
+		}
+		if !st.SameSide(id, cand) {
+			continue // the tracker cannot reach across an active partition
+		}
+		if st.DegreeOf(cand) >= hp.MaxNeighbors || st.Connected(id, cand) {
+			continue
+		}
+		st.Connect(id, cand)
+		added++
+		need--
+	}
+	return added
+}
+
+// swarmHandout adapts a Swarm to HandoutState. It is a type alias-style
+// view over the same memory ((*swarmHandout)(s) is free), so delegating the
+// announce loop through the shared policy adds no allocation.
+type swarmHandout Swarm
+
+func (h *swarmHandout) PresentCount() int     { return len(h.trk.present) }
+func (h *swarmHandout) PresentAt(i int) int32 { return h.trk.present[i] }
+func (h *swarmHandout) DegreeOf(id int32) int { return int(h.deg[h.peers[id].slot]) }
+
+func (h *swarmHandout) SameSide(a, b int32) bool {
+	if f := h.flt; f != nil && f.partitionOn {
+		return f.side[h.peers[b].slot] == f.side[h.peers[a].slot]
+	}
+	return true
+}
+
+func (h *swarmHandout) Connected(a, b int32) bool {
+	s := (*Swarm)(h)
+	return s.hasEdge(&s.peers[a], int(b))
+}
+
+func (h *swarmHandout) Connect(a, b int32) {
+	s := (*Swarm)(h)
+	s.addEdge(&s.peers[a], &s.peers[b])
+}
+
+// Neighbors appends the ids of a present peer's current connections to dst
+// and returns it (unchanged for departed or out-of-range ids). The order is
+// CSR block order — wiring-history dependent — so callers comparing
+// neighbor sets should sort.
+func (s *Swarm) Neighbors(dst []int32, id int) []int32 {
+	if id < 0 || id >= len(s.peers) || s.peers[id].departed || s.peers[id].slot < 0 {
+		return dst
+	}
+	base, end := s.edges(id)
+	return append(dst, s.nbr[base:end]...)
+}

@@ -71,7 +71,7 @@ type Scenario struct {
 	// ScenarioSpec.
 	CheckpointEvery int
 	// CheckpointDir is the directory checkpoints are written to (created if
-	// missing). Required when CheckpointEvery > 0 or Interrupt is set.
+	// missing). Required when CheckpointEvery > 0.
 	CheckpointDir string
 	// CheckpointRetain caps how many checkpoint files CheckpointDir keeps —
 	// older ones are rotated away after each write. 0 means 3; negative
@@ -86,9 +86,10 @@ type Scenario struct {
 	ResumeFrom string
 	// Interrupt, when non-nil, makes the runner poll the channel at each
 	// round boundary: once it is closed (or receives), the runner writes a
-	// final checkpoint into CheckpointDir (if set) and returns an error
+	// final checkpoint into CheckpointDir (when one is configured — without
+	// it the interrupt is a plain cancellation) and returns an error
 	// wrapping ErrInterrupted without calling OnDone — the graceful
-	// SIGINT/SIGTERM path.
+	// SIGINT/SIGTERM and run-cancellation path.
 	Interrupt <-chan struct{}
 
 	// specJSON is the serialized ScenarioSpec this scenario was compiled
@@ -200,7 +201,7 @@ func (sc Scenario) RunObserver(obs Observer) error {
 	if sc.Rounds < 1 {
 		return fmt.Errorf("scenario %s: %d rounds", sc.Name, sc.Rounds)
 	}
-	if sc.CheckpointDir == "" && (sc.CheckpointEvery > 0 || sc.Interrupt != nil) {
+	if sc.CheckpointDir == "" && sc.CheckpointEvery > 0 {
 		return fmt.Errorf("scenario %s: checkpointing requested without a checkpoint directory", sc.Name)
 	}
 	var (
@@ -306,9 +307,13 @@ func (run *scenarioRun) loop(obs Observer) error {
 			case <-sc.Interrupt:
 				// Interrupted at a round boundary: persist the state needed
 				// to resume from exactly this round, then bail without
-				// OnDone — the run is suspended, not finished.
-				if err := run.writeCheckpoint(round); err != nil {
-					return err
+				// OnDone — the run is suspended, not finished. Without a
+				// checkpoint directory the interrupt is a plain cancellation
+				// and nothing is written.
+				if sc.CheckpointDir != "" {
+					if err := run.writeCheckpoint(round); err != nil {
+						return err
+					}
 				}
 				return fmt.Errorf("scenario %s: %w at round %d", sc.Name, ErrInterrupted, round)
 			default:

@@ -64,40 +64,11 @@ func (s *Swarm) Announce(id int) int {
 		}
 		f.announceOK(p.slot)
 	}
-	need := s.opt.NeighborCount - int(s.deg[p.slot])
-	// Every neighbor is present, so the announcer can add at most the
-	// present peers it is not yet connected to — without this cap a peer
-	// in a drained swarm would burn its whole attempt budget every
-	// re-announce chasing an unreachable target.
-	if achievable := len(s.trk.present) - 1 - int(s.deg[p.slot]); need > achievable {
-		need = achievable
-	}
-	if need <= 0 {
-		return 0
-	}
-	added := 0
-	// Rejection sampling with a bounded attempt budget: when most of the
-	// swarm is already saturated the announcer settles for fewer neighbors
-	// and retries at its next re-announce instead of spinning.
-	for attempts := 16*need + 16; need > 0 && attempts > 0; attempts-- {
-		if s.deg[p.slot] >= s.edgeCap {
-			break
-		}
-		cand := s.trk.present[s.r.Intn(len(s.trk.present))]
-		if int(cand) == id {
-			continue
-		}
-		q := &s.peers[cand]
-		if f := s.flt; f != nil && f.partitionOn && f.side[q.slot] != f.side[p.slot] {
-			continue // the tracker cannot reach across an active partition
-		}
-		if s.deg[q.slot] >= s.edgeCap || s.hasEdge(p, int(cand)) {
-			continue
-		}
-		s.addEdge(p, q)
-		added++
-		need--
-	}
+	// The selection loop itself is the shared HandoutPolicy (handout.go):
+	// the trackerd service registry runs the identical policy, so served
+	// handouts match in-sim ones draw for draw.
+	hp := HandoutPolicy{NeighborCount: s.opt.NeighborCount, MaxNeighbors: s.opt.MaxNeighbors}
+	added := hp.Handout((*swarmHandout)(s), s.r, int32(id))
 	s.tel.Add(telemetry.CtrAnnounceEdges, added)
 	return added
 }

@@ -1,0 +1,198 @@
+// Package emit is the jsonl wire format of a scenario run: a streaming
+// btsim.Observer writing one JSON line per sample ("sample"), per scenario
+// event ("event" / "checkpoint") and a closing summary ("done"). It is the
+// single encoder behind both `btswarm -emit jsonl` and the tracker daemon's
+// streamed POST /runs responses, so the two surfaces are byte-identical by
+// construction (and pinned so by tests on both sides).
+//
+// The field orders below are frozen — golden fixtures in cmd/btswarm pin
+// them — and fault counters only appear when the run injects faults, so
+// fault-free streams keep the original shape byte for byte.
+package emit
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	"stratmatch/internal/btsim"
+)
+
+// jfloat marshals NaN (a legitimate "no data" sentinel in the series) as
+// JSON null, which encoding/json otherwise rejects.
+type jfloat float64
+
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// Emitter is the streaming Observer: it holds no series state, so a dense
+// SampleEvery: 1 run over any horizon streams in O(1) memory. It does not
+// implement TelemetryObserver — a run with a telemetry recorder attached
+// still produces the plain sample/event/done stream, which is what lets the
+// tracker daemon share one process-wide recorder across runs without
+// perturbing their output. Use TelemetryEmitter to opt into "telemetry"
+// lines.
+type Emitter struct {
+	enc        *json.Encoder
+	flush      func()
+	withFaults bool
+	err        error
+}
+
+// New returns an Emitter writing JSON lines to w. withFaults extends
+// samples and the summary with the fault-injection counters (pass
+// spec.HasFaults()). If flush is non-nil it is called after every line —
+// the chunked-HTTP hook, so a streaming client sees each line as the run
+// produces it.
+func New(w io.Writer, withFaults bool, flush func()) *Emitter {
+	return &Emitter{enc: json.NewEncoder(w), withFaults: withFaults, flush: flush}
+}
+
+// Err returns the first write error, if any. Encoding continues to no-op
+// after a failure, so a broken pipe surfaces once instead of per line.
+func (e *Emitter) Err() error { return e.err }
+
+func (e *Emitter) encode(v any) {
+	if e.err != nil {
+		return
+	}
+	if err := e.enc.Encode(v); err != nil {
+		e.err = err
+		return
+	}
+	if e.flush != nil {
+		e.flush()
+	}
+}
+
+// sample is the shared shape of a "sample" line; the fault-mode variant
+// below embeds it, so the fault-free field order is frozen.
+type sample struct {
+	Type       string    `json:"type"`
+	Round      int       `json:"round"`
+	Present    int       `json:"present"`
+	Leechers   int       `json:"leechers"`
+	Seeds      int       `json:"seeds"`
+	Joined     int       `json:"joined"`
+	Departed   int       `json:"departed"`
+	Completed  int       `json:"completed"`
+	MeanDegree jfloat    `json:"mean_degree"`
+	StratCorr  jfloat    `json:"strat_corr"`
+	ShareRatio [3]jfloat `json:"share_ratio_by_class"`
+}
+
+func (e *Emitter) OnSample(pt btsim.SeriesPoint) {
+	row := sample{
+		Type: "sample", Round: pt.Round, Present: pt.Present,
+		Leechers: pt.Leechers, Seeds: pt.Seeds, Joined: pt.Joined,
+		Departed: pt.Departed, Completed: pt.Completed,
+		MeanDegree: jfloat(pt.MeanDegree), StratCorr: jfloat(pt.StratCorr),
+		ShareRatio: [3]jfloat{
+			jfloat(pt.ShareRatioByClass[0]),
+			jfloat(pt.ShareRatioByClass[1]),
+			jfloat(pt.ShareRatioByClass[2]),
+		},
+	}
+	if !e.withFaults {
+		e.encode(row)
+		return
+	}
+	e.encode(struct {
+		sample
+		StaleEdges       int `json:"stale_edges"`
+		Crashed          int `json:"crashed"`
+		AnnounceFailures int `json:"announce_failures"`
+		AnnounceRetries  int `json:"announce_retries"`
+	}{
+		sample: row, StaleEdges: pt.StaleEdges, Crashed: pt.Crashed,
+		AnnounceFailures: pt.AnnounceFailures, AnnounceRetries: pt.AnnounceRetries,
+	})
+}
+
+func (e *Emitter) OnEvent(ev btsim.RunEvent) {
+	if ev.Kind == "checkpoint" {
+		// Checkpoints get their own record type: a consumer (or the crash
+		// harness) scanning for the last durable point greps one stable
+		// shape, and the file for round+1 is guaranteed on disk by the time
+		// this line is emitted.
+		e.encode(struct {
+			Type  string `json:"type"`
+			Round int    `json:"round"`
+		}{Type: "checkpoint", Round: ev.Round})
+		return
+	}
+	e.encode(struct {
+		Type string `json:"type"`
+		btsim.RunEvent
+	}{Type: "event", RunEvent: ev})
+}
+
+// done is the shared shape of the closing "done" line.
+type done struct {
+	Type              string `json:"type"`
+	Round             int    `json:"round"`
+	Present           int    `json:"present"`
+	PresentSeeds      int    `json:"present_seeds"`
+	CompletedLeechers int    `json:"completed_leechers"`
+	TotalJoined       int    `json:"total_joined"`
+	TotalDeparted     int    `json:"total_departed"`
+	MeanCompletion    jfloat `json:"mean_completion_round"`
+	StratCorrelation  jfloat `json:"strat_correlation"`
+	MeanAbsRankOffset jfloat `json:"mean_abs_rank_offset"`
+}
+
+func (e *Emitter) OnDone(m btsim.Metrics) {
+	row := done{
+		Type: "done", Round: m.Round, Present: m.Present,
+		PresentSeeds: m.PresentSeeds, CompletedLeechers: m.CompletedLeechers,
+		TotalJoined: len(m.Peers), TotalDeparted: m.TotalDeparted,
+		MeanCompletion:    jfloat(m.MeanCompletionRound),
+		StratCorrelation:  jfloat(m.StratCorrelation),
+		MeanAbsRankOffset: jfloat(m.MeanAbsRankOffset),
+	}
+	if !e.withFaults {
+		e.encode(row)
+		return
+	}
+	e.encode(struct {
+		done
+		TotalCrashed int `json:"total_crashed"`
+	}{done: row, TotalCrashed: m.TotalCrashed})
+}
+
+// Suspended writes the daemon's run-suspension trailer: the one extra line
+// a streamed run ends with when it is drained to a checkpoint instead of
+// finishing. It is deliberately NOT part of the offline format — consumers
+// stitching a suspended stream onto a resumed one drop it first.
+func (e *Emitter) Suspended(round int, resume string) {
+	e.encode(struct {
+		Type   string `json:"type"`
+		Round  int    `json:"round"`
+		Resume string `json:"resume"`
+	}{Type: "suspended", Round: round, Resume: resume})
+}
+
+// TelemetryEmitter is an Emitter that also implements TelemetryObserver:
+// on telemetry-on runs the runner delivers a snapshot after each sample and
+// the emitter writes it as a "telemetry" line (the runner never calls it
+// otherwise, so telemetry-off streams are byte-identical either way).
+type TelemetryEmitter struct {
+	Emitter
+}
+
+// NewTelemetry returns a TelemetryEmitter writing to w; see New.
+func NewTelemetry(w io.Writer, withFaults bool, flush func()) *TelemetryEmitter {
+	return &TelemetryEmitter{Emitter{enc: json.NewEncoder(w), withFaults: withFaults, flush: flush}}
+}
+
+func (e *TelemetryEmitter) OnTelemetry(round int, snap btsim.TelemetrySnapshot) {
+	e.encode(struct {
+		Type  string `json:"type"`
+		Round int    `json:"round"`
+		btsim.TelemetrySnapshot
+	}{Type: "telemetry", Round: round, TelemetrySnapshot: snap})
+}

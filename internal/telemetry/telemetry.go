@@ -74,6 +74,12 @@ const (
 	// CtrCheckpointBytes accumulates their sealed on-disk sizes.
 	CtrCheckpointsWritten
 	CtrCheckpointBytes
+	// CtrServeAnnounces / CtrServeScrapes count announce and scrape
+	// requests the tracker daemon served; CtrServeRuns counts scenario
+	// runs it accepted over POST /runs.
+	CtrServeAnnounces
+	CtrServeScrapes
+	CtrServeRuns
 	numCounters
 )
 
@@ -96,6 +102,10 @@ var counterNames = [numCounters]string{
 
 	CtrCheckpointsWritten: "btsim_checkpoints_written_total",
 	CtrCheckpointBytes:    "btsim_checkpoint_bytes_total",
+
+	CtrServeAnnounces: "trackerd_announces_total",
+	CtrServeScrapes:   "trackerd_scrapes_total",
+	CtrServeRuns:      "trackerd_runs_total",
 }
 
 // GaugeID identifies a last-value gauge in the static registry.
@@ -110,6 +120,9 @@ const (
 	GaugeLeechers
 	GaugeSeeds
 	GaugeStaleEdges
+	// GaugeActiveRuns is the tracker daemon's currently executing
+	// scenario-run count (bounded by its worker pool).
+	GaugeActiveRuns
 	numGauges
 )
 
@@ -119,6 +132,7 @@ var gaugeNames = [numGauges]string{
 	GaugeLeechers:   "btsim_present_leechers",
 	GaugeSeeds:      "btsim_present_seeds",
 	GaugeStaleEdges: "btsim_stale_edges",
+	GaugeActiveRuns: "trackerd_active_runs",
 }
 
 // PhaseID identifies a duration histogram in the static registry — one per
@@ -152,6 +166,9 @@ const (
 	// (read + decode + invariant audit).
 	PhaseCheckpointWrite
 	PhaseCheckpointLoad
+	// PhaseHandout is one tracker-daemon announce handout (registry lock
+	// acquisition + neighbor selection), measured per served request.
+	PhaseHandout
 	numPhases
 )
 
@@ -166,6 +183,8 @@ var phaseNames = [numPhases]string{
 
 	PhaseCheckpointWrite: "checkpoint_write",
 	PhaseCheckpointLoad:  "checkpoint_load",
+
+	PhaseHandout: "handout",
 }
 
 // NumBuckets is the fixed histogram size: bucket i (< NumBuckets-1) counts

@@ -2,7 +2,10 @@
 # Run the per-experiment benchmarks (every paper figure/table plus the
 # extensions, including the churn scenario catalog behind BenchmarkChurn,
 # the telemetry on/off differential behind BenchmarkSwarmStepTelemetry*,
-# and the durable-checkpoint cost differential behind BenchmarkCheckpoint*)
+# the durable-checkpoint cost differential behind BenchmarkCheckpoint*,
+# and the tracker daemon's sustained announce load behind
+# BenchmarkTrackerd* — whose announces/sec and latency quantiles land in
+# the JSON as custom units, compared direction-aware by --compare)
 # and record the results as BENCH_results.json at the repository root, so
 # the performance trajectory is tracked across PRs. Benchmarks run at
 # -benchtime=3x so single-run noise doesn't dominate the comparisons.
