@@ -13,6 +13,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"stratmatch/internal/analytic"
 	"stratmatch/internal/experiments"
 	"stratmatch/internal/trackerd"
 )
@@ -154,6 +155,76 @@ func benchSwarmStep(b *testing.B, tel *Telemetry) {
 
 func BenchmarkSwarmStepTelemetryOff(b *testing.B) { benchSwarmStep(b, nil) }
 func BenchmarkSwarmStepTelemetryOn(b *testing.B)  { benchSwarmStep(b, NewTelemetry()) }
+
+// BenchmarkSwarmStepSharded times one engine round of a 50k-peer
+// content-unlimited swarm across step-worker counts. Every sub-benchmark
+// runs the identical trajectory (same seed, same rounds — the worker count
+// is byte-invisible), so the ns/op ratios in BENCH_results.json are the
+// sharded stepper's parallel speedup, clean of workload drift.
+func BenchmarkSwarmStepSharded(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sw, err := NewSwarm(SwarmOptions{
+				Leechers: 50_000, Pieces: 1, ContentUnlimited: true,
+				NeighborCount: 20, MaxNeighbors: 30, Seed: 44,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw.SetStepWorkers(workers)
+			defer sw.Close()
+			sw.Run(5)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sw.Run(1)
+			}
+		})
+	}
+}
+
+// BenchmarkMillionPeerRound is the flash-crowd headline number: one round
+// of a million-peer content-unlimited swarm (the population of the
+// flashcrowd1m scenario after its burst) under 8 step workers.
+func BenchmarkMillionPeerRound(b *testing.B) {
+	sw, err := NewSwarm(SwarmOptions{
+		Leechers: 999_000, Seeds: 1000, Pieces: 1, ContentUnlimited: true,
+		NeighborCount: 8, MaxNeighbors: 12, Seed: 45,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw.SetStepWorkers(8)
+	defer sw.Close()
+	sw.Run(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.Run(1)
+	}
+}
+
+// BenchmarkBMatching times Algorithm 3's O(n²·b0) recurrence serial vs the
+// pooled tile handoff (results are byte-identical; only the schedule
+// differs), at Figure 11's shape: b0 = 3 slots over a 4000-peer network.
+func BenchmarkBMatching(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := analytic.BMatching(analytic.BMatchingOptions{
+					N: 4000, P: 0.005, B0: 3, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.MatchProbAny[0] <= 0 {
+					b.Fatal("degenerate matching result")
+				}
+			}
+		})
+	}
+}
 
 // benchCheckpoint runs the poisson catalog scenario with (or without) the
 // durable-checkpoint path: a checksummed snapshot of the complete run

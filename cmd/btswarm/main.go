@@ -104,6 +104,7 @@ func run(args []string) error {
 		scenario  = fs.String("scenario", "", "run a named churn scenario instead of a fixed swarm (see -list-scenarios)")
 		scScale   = fs.Float64("scenario-scale", 1, "population/length multiplier for -scenario and -spec")
 		scSample  = fs.Int("sample-every", 0, "scenario time-series sampling period in rounds (0 = scenario default; 1 = every round, sampling is allocation-free)")
+		scWorkers = fs.Int("step-workers", 0, "goroutines for the swarm's sharded step phases in -scenario/-spec/-resume runs (0 or 1 = serial; output is byte-identical at any setting)")
 		listSc    = fs.Bool("list-scenarios", false, "list the churn scenario catalog and exit")
 		specPath  = fs.String("spec", "", "load and run a JSON scenario spec from this file (use /dev/stdin to pipe)")
 		dumpSpec  = fs.String("dump-spec", "", "print the named catalog scenario as a JSON spec and exit")
@@ -172,6 +173,10 @@ func run(args []string) error {
 		}
 		fmt.Println("fault-injection scenario catalog:")
 		for _, name := range btsim.FaultScenarioNames() {
+			fmt.Printf("  %s\n", name)
+		}
+		fmt.Println("extra-large stress scenarios (excluded from catalog sweeps):")
+		for _, name := range btsim.XLScenarioNames() {
 			fmt.Printf("  %s\n", name)
 		}
 		return nil
@@ -268,14 +273,14 @@ func run(args []string) error {
 				spec.Swarm.Seed = *seed
 			}
 		})
-		return runSpec(spec, *scSample, ck, *emitFlag, *verbose, tel)
+		return runSpec(spec, *scSample, *scWorkers, ck, *emitFlag, *verbose, tel)
 	}
 	if *scenario != "" {
 		spec, err := btsim.NamedSpec(*scenario, *seed, *scScale)
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, *scSample, ck, *emitFlag, *verbose, tel)
+		return runSpec(spec, *scSample, *scWorkers, ck, *emitFlag, *verbose, tel)
 	}
 	if *resume != "" {
 		// The checkpoint embeds the exact effective spec (scaling and
@@ -286,7 +291,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runSpec(spec, 0, ck, *emitFlag, *verbose, tel)
+		return runSpec(spec, 0, *scWorkers, ck, *emitFlag, *verbose, tel)
 	}
 	if *emitFlag != "text" {
 		return fmt.Errorf("-emit %s only applies to -scenario or -spec runs", *emitFlag)
@@ -481,7 +486,7 @@ type ckptConfig struct {
 // run at the next round boundary, writes a final resume-from-here
 // checkpoint, and exits cleanly (status 0) — kill -9 loses at most the
 // rounds since the last periodic checkpoint.
-func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emitMode string, verbose bool, tel *telemetry.Recorder) error {
+func runSpec(spec btsim.ScenarioSpec, sampleEvery, stepWorkers int, ck ckptConfig, emitMode string, verbose bool, tel *telemetry.Recorder) error {
 	if sampleEvery > 0 {
 		spec.SampleEvery = sampleEvery
 	}
@@ -497,6 +502,9 @@ func runSpec(spec btsim.ScenarioSpec, sampleEvery int, ck ckptConfig, emitMode s
 	// Telemetry is runtime-only, attached after Compile: it is not part of
 	// the scenario definition and never changes simulation output.
 	sc.Telemetry = tel
+	// Worker count is a runtime knob like telemetry: byte-identical output
+	// at any setting, so it is absent from the spec and safe on resume.
+	sc.StepWorkers = stepWorkers
 	sc.CheckpointEvery = ck.every
 	sc.CheckpointDir = ck.dir
 	sc.CheckpointRetain = ck.retain

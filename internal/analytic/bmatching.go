@@ -2,8 +2,10 @@ package analytic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"stratmatch/internal/par"
+	"stratmatch/internal/telemetry"
 )
 
 // BMatchingResult holds the output of the independent b0-matching recurrence
@@ -68,10 +70,11 @@ type BMatchingOptions struct {
 // The pair (i, j) depends only on the pairs (i, j−1) (through row i's
 // cumulative) and (i−1, j) (through column j's cumulative) — a classic
 // wavefront. The recurrence is therefore sharded over Workers goroutines by
-// tiling the upper triangle into row×column blocks and running the block
-// anti-diagonals in parallel (see bmatchingTiled); every memory cell still
-// receives the same additions in the same order, so the parallel evaluation
-// is byte-identical to the serial one.
+// tiling the upper triangle into row×column blocks and handing each tile to
+// a persistent worker pool as soon as its two predecessor tiles finish (see
+// bmatchingTiled); every memory cell still receives the same additions in
+// the same order, so the parallel evaluation is byte-identical to the
+// serial one.
 func BMatching(opt BMatchingOptions) (*BMatchingResult, error) {
 	n, p, b0 := opt.N, opt.P, opt.B0
 	if n < 0 {
@@ -188,19 +191,30 @@ func bmatchingSerial(res *BMatchingResult, opt BMatchingOptions) {
 const bmatchingMinBlock = 64
 
 // bmatchingTiled shards the recurrence into block×block tiles of the upper
-// triangle and runs each block anti-diagonal ("wave") in parallel:
-// tile (I, J) — rows of block I against columns of block J — depends only on
-// tiles (I, J−1) and (I−1, J), both on earlier waves, so all tiles of one
-// wave are independent. Unlike the serial scan, row cumulatives persist per
-// row (rowCum[c][i]) because a row's tiles are visited across waves; the
-// diagonal tile seeds them from colCum exactly where the serial scan would.
+// triangle: tile (I, J) — rows of block I against columns of block J —
+// depends only on tiles (I, J−1) and (I−1, J). Unlike the serial scan, row
+// cumulatives persist per row (rowCum[c][i]) because a row's tiles are
+// visited by different workers over time; the diagonal tile seeds them from
+// colCum exactly where the serial scan would.
 //
-// Determinism: within a wave, tiles touch disjoint blocks — a same-wave
-// conflict between tile (I1, J1)'s rows and tile (I2, J2)'s columns would
-// need I1 == J2, which forces J1 == I2 > J2 and makes (I2, J2) a
-// lower-triangle tile that never exists. Each cell of colCum, rowCum,
-// SlotMatchProb and ExpectedValue therefore receives exactly the additions
-// of the serial scan, in the same order, for every worker count.
+// Scheduling is a dependency-counted handoff on a persistent par.Pool
+// rather than per-anti-diagonal barriers: each tile carries the count of
+// its unfinished predecessors, a finished tile decrements its (I, J+1) and
+// (I+1, J) successors, and whichever decrement reaches zero enqueues the
+// successor on the ready channel. A tile therefore starts the moment its
+// own inputs are final instead of waiting for the slowest tile of its
+// anti-diagonal, and the pool goroutines are spawned once per evaluation
+// instead of once per wave.
+//
+// Determinism: two tiles are only ever concurrent when neither reaches the
+// other through the dependency edges. A conflict between tile (I1, J1)'s
+// rows and tile (I2, J2)'s columns needs I1 == J2; but then (I2, J2) chains
+// to (I1, J1) through column J2 down to the diagonal and along row I1
+// ((I2, I1) → … → (I1, I1) → … → (I1, J1)), so they are ordered, and
+// same-row or same-column tiles are chained directly. Each cell of colCum,
+// rowCum, SlotMatchProb and ExpectedValue therefore receives exactly the
+// additions of the serial scan, in the same order, for every worker count
+// and every handoff schedule.
 func bmatchingTiled(res *BMatchingResult, opt BMatchingOptions, workers int) {
 	n, p, b0 := opt.N, opt.P, opt.B0
 	colCum := make([][]float64, b0)
@@ -209,8 +223,8 @@ func bmatchingTiled(res *BMatchingResult, opt BMatchingOptions, workers int) {
 		colCum[c] = make([]float64, n)
 		rowCum[c] = make([]float64, n)
 	}
-	// ~4 blocks per worker keeps every wave wide enough to feed the pool
-	// while the tiles stay coarse; the floor bounds the barrier count.
+	// ~4 blocks per worker keeps enough tiles in flight to feed the pool
+	// while the tiles stay coarse; the floor bounds the handoff count.
 	block := (n + 4*workers - 1) / (4 * workers)
 	if block < bmatchingMinBlock {
 		block = bmatchingMinBlock
@@ -225,77 +239,114 @@ func bmatchingTiled(res *BMatchingResult, opt BMatchingOptions, workers int) {
 		xjs[w] = make([]float64, b0)
 	}
 
-	for wave := 0; wave <= 2*(nb-1); wave++ {
-		lo := 0
-		if wave >= nb {
-			lo = wave - nb + 1
+	runTile := func(w, I, J int) {
+		r0, r1 := I*block, (I+1)*block
+		if r1 > n {
+			r1 = n
 		}
-		hi := wave / 2 // inclusive; J = wave−I ≥ I
-		if hi < lo {
-			continue
+		c1 := (J + 1) * block
+		if c1 > n {
+			c1 = n
 		}
-		par.ForEachWorker(hi-lo+1, workers, func(w, t int) {
-			I := lo + t
-			J := wave - I
-			r0, r1 := I*block, (I+1)*block
-			if r1 > n {
-				r1 = n
-			}
-			c1 := (J + 1) * block
-			if c1 > n {
-				c1 = n
-			}
-			xi, xj := xis[w], xjs[w]
-			for i := r0; i < r1; i++ {
-				jStart := J * block
-				if I == J {
-					// Row i starts here: seed its cumulative from column
-					// i's state, which is final — every (k, i) pair with
-					// k < i lives on an earlier wave or earlier in this
-					// tile.
-					for c := 0; c < b0; c++ {
-						rowCum[c][i] = colCum[c][i]
-					}
-					jStart = i + 1
+		xi, xj := xis[w], xjs[w]
+		for i := r0; i < r1; i++ {
+			jStart := J * block
+			if I == J {
+				// Row i starts here: seed its cumulative from column
+				// i's state, which is final — every (k, i) pair with
+				// k < i lives in a predecessor tile or earlier in this
+				// tile.
+				for c := 0; c < b0; c++ {
+					rowCum[c][i] = colCum[c][i]
 				}
-				rowOut := res.Rows[i]
-				for j := jStart; j < c1; j++ {
-					var sumXi, sumXj float64
-					for c := 0; c < b0; c++ {
-						prev := 1.0
-						if c > 0 {
-							prev = rowCum[c-1][i]
-						}
-						xi[c] = prev - rowCum[c][i]
-						sumXi += xi[c]
-						prev = 1.0
-						if c > 0 {
-							prev = colCum[c-1][j]
-						}
-						xj[c] = prev - colCum[c][j]
-						sumXj += xj[c]
+				jStart = i + 1
+			}
+			rowOut := res.Rows[i]
+			for j := jStart; j < c1; j++ {
+				var sumXi, sumXj float64
+				for c := 0; c < b0; c++ {
+					prev := 1.0
+					if c > 0 {
+						prev = rowCum[c-1][i]
 					}
-					pairProb := p * sumXi * sumXj
-					for c := 0; c < b0; c++ {
-						dci := p * xi[c] * sumXj
-						dcj := p * xj[c] * sumXi
-						rowCum[c][i] += dci
-						colCum[c][j] += dcj
-						res.SlotMatchProb[c][i] += dci
-						res.SlotMatchProb[c][j] += dcj
-						if rowOut != nil {
-							rowOut[c][j] = dci
-						}
-						if out := res.Rows[j]; out != nil {
-							out[c][i] = dcj
-						}
+					xi[c] = prev - rowCum[c][i]
+					sumXi += xi[c]
+					prev = 1.0
+					if c > 0 {
+						prev = colCum[c-1][j]
 					}
-					if res.ExpectedValue != nil {
-						res.ExpectedValue[i] += pairProb * opt.PartnerValue[j]
-						res.ExpectedValue[j] += pairProb * opt.PartnerValue[i]
+					xj[c] = prev - colCum[c][j]
+					sumXj += xj[c]
+				}
+				pairProb := p * sumXi * sumXj
+				for c := 0; c < b0; c++ {
+					dci := p * xi[c] * sumXj
+					dcj := p * xj[c] * sumXi
+					rowCum[c][i] += dci
+					colCum[c][j] += dcj
+					res.SlotMatchProb[c][i] += dci
+					res.SlotMatchProb[c][j] += dcj
+					if rowOut != nil {
+						rowOut[c][j] = dci
+					}
+					if out := res.Rows[j]; out != nil {
+						out[c][i] = dcj
 					}
 				}
+				if res.ExpectedValue != nil {
+					res.ExpectedValue[i] += pairProb * opt.PartnerValue[j]
+					res.ExpectedValue[j] += pairProb * opt.PartnerValue[i]
+				}
 			}
-		})
+		}
 	}
+
+	// Tile (I, J) waits for (I, J−1) when the row extends left of it and
+	// for (I−1, J) when a block row sits above; only (0, 0) starts free.
+	total := nb * (nb + 1) / 2
+	deps := make([]atomic.Int32, nb*nb)
+	for I := 0; I < nb; I++ {
+		for J := I; J < nb; J++ {
+			var d int32
+			if J > I {
+				d++
+			}
+			if I > 0 {
+				d++
+			}
+			deps[I*nb+J].Store(d)
+		}
+	}
+	// Buffered for every tile plus one shutdown sentinel per worker, so no
+	// send ever blocks.
+	ready := make(chan int, total+workers)
+	ready <- 0
+	var finished atomic.Int32
+
+	pool := par.NewPool(workers)
+	defer pool.Close()
+	pool.Run(func(w int) {
+		r := par.Telemetry()
+		for idx := range ready {
+			if idx < 0 {
+				return
+			}
+			I, J := idx/nb, idx%nb
+			sp := r.StartPhase(telemetry.PhaseParTask)
+			runTile(w, I, J)
+			r.EndPhase(telemetry.PhaseParTask, sp)
+			r.Inc(telemetry.CtrParTasks)
+			if J+1 < nb && deps[I*nb+J+1].Add(-1) == 0 {
+				ready <- I*nb + J + 1
+			}
+			if I < J && deps[(I+1)*nb+J].Add(-1) == 0 {
+				ready <- (I+1)*nb + J
+			}
+			if int(finished.Add(1)) == total {
+				for k := 0; k < workers; k++ {
+					ready <- -1
+				}
+			}
+		}
+	})
 }

@@ -138,6 +138,7 @@ func (s *Swarm) applyDepartures(d Departures, r *rng.RNG, scratch *[]int32) int 
 	if d.AbandonPerRound <= 0 && d.SeedLingerRounds <= 0 {
 		return 0
 	}
+	s.flushJoinRanks() // the rank-biased draw below reads ranks
 	// Rank-fraction denominator for capacity-correlated abandonment: ranks
 	// of present peers span 0..present-1.
 	rankScale := 1.0

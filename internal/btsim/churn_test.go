@@ -14,6 +14,7 @@ import (
 // incremental want/avail counters against full bitfield recounts.
 func checkInvariants(t *testing.T, s *Swarm, stage string) {
 	t.Helper()
+	s.flushJoinRanks() // ranks are batch-assigned; the audit below reads them
 	P := s.opt.Pieces
 
 	// Roster ↔ slot ↔ tracker consistency.

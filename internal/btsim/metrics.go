@@ -73,6 +73,7 @@ type Metrics struct {
 
 // Snapshot computes metrics for the current state.
 func (s *Swarm) Snapshot() Metrics {
+	s.flushJoinRanks() // the per-peer rows below read ranks
 	m := Metrics{
 		Round: s.round, Present: s.present, PresentSeeds: s.presentDone,
 		TotalDeparted: s.totalDeparted,

@@ -61,6 +61,13 @@ type Scenario struct {
 	// appear in ScenarioSpec.
 	Telemetry *telemetry.Recorder
 
+	// StepWorkers is how many goroutines the swarm's sharded Step phases
+	// use (<= 1: serial). The trajectory is byte-identical at every
+	// setting (see Swarm.SetStepWorkers), so this is a runtime knob like
+	// Telemetry: not part of ScenarioSpec and not checkpointed — a run may
+	// checkpoint under one worker count and resume under another.
+	StepWorkers int
+
 	// CheckpointEvery writes a durable checkpoint of the complete run state
 	// into CheckpointDir every CheckpointEvery rounds (0: no checkpointing).
 	// A checkpoint written at the end of round r resumes from round r+1; a
@@ -97,6 +104,11 @@ type Scenario struct {
 	// verify — or recover — the exact workload. Empty for hand-built
 	// scenarios.
 	specJSON []byte
+
+	// eagerSample disables the engine's incremental series sampler so
+	// every sample rescans the roster — the oracle the differential tests
+	// compare the incremental path against. Test hook only.
+	eagerSample bool
 }
 
 // Event is a scheduled membership shock: at Round, DepartFraction of the
@@ -272,11 +284,17 @@ func (sc Scenario) freshRun() (*scenarioRun, error) {
 	if faultsOn {
 		s.EnableFaults(*sc.Faults, base.Split())
 	}
+	cb := newClassBounds(s)
+	if !sc.eagerSample {
+		// Arm the engine's incremental sampler so dense sampling costs
+		// O(changed peers), not O(present), per point.
+		s.EnableSeriesStats(cb.lo, cb.hi)
+	}
 	run := &scenarioRun{
 		sc:       &sc,
 		s:        s,
 		churnR:   churnR,
-		sampler:  seriesSampler{classes: newClassBounds(s)},
+		sampler:  seriesSampler{classes: cb},
 		alive:    s.present > 0,
 		faultsOn: faultsOn,
 	}
@@ -300,6 +318,8 @@ func (run *scenarioRun) loop(obs Observer) error {
 	s := run.s
 	tel := sc.Telemetry // nil when telemetry is off; all hooks no-op
 	s.SetTelemetry(tel)
+	s.SetStepWorkers(sc.StepWorkers)
+	defer s.Close() // release the step-worker pool, if any
 	tObs, _ := obs.(TelemetryObserver)
 	for round := run.start; round < sc.Rounds; round++ {
 		if sc.Interrupt != nil {
@@ -445,8 +465,13 @@ type seriesSampler struct {
 }
 
 // sample computes one SeriesPoint from the live swarm state. It allocates
-// nothing.
+// nothing. With the engine's incremental sampler armed (the default for
+// scenario runs) the statistics fold in only the peers whose inputs
+// changed since the last sample — O(changed), not O(present); otherwise it
+// falls back to the eager roster pass, which doubles as the oracle the
+// incremental path is tested against.
 func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
+	s.flushJoinRanks() // both paths read ranks
 	pt := SeriesPoint{
 		Round:     s.round,
 		Present:   s.present,
@@ -460,20 +485,36 @@ func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
 		pt.MeanDegree = float64(s.liveDegSum) / float64(s.present)
 	}
 
-	sp.corr.Reset()
-	var ratioSum, ratioN [3]float64
-	for _, id := range s.trk.present {
-		p := &s.peers[id]
-		if p.isSeed {
-			continue
+	if st := s.stats; st != nil {
+		s.flushSeriesStats()
+		pt.StratCorr = st.corr()
+		for cl := range pt.ShareRatioByClass {
+			pt.ShareRatioByClass[cl] = st.ratioMean(cl)
 		}
-		if p.tftPartnerCount > 0 {
-			sp.corr.Add(float64(s.rank[p.id]), p.tftPartnerRankSum/float64(p.tftPartnerCount))
+	} else {
+		sp.corr.Reset()
+		var ratioSum, ratioN [3]float64
+		for _, id := range s.trk.present {
+			p := &s.peers[id]
+			if p.isSeed {
+				continue
+			}
+			if p.tftPartnerCount > 0 {
+				sp.corr.Add(float64(s.rank[p.id]), p.tftPartnerRankSum/float64(p.tftPartnerCount))
+			}
+			if p.totalUp > 0 {
+				cl := sp.classes.class(p.capacity)
+				ratioSum[cl] += p.totalDown / p.totalUp
+				ratioN[cl]++
+			}
 		}
-		if p.totalUp > 0 {
-			cl := sp.classes.class(p.capacity)
-			ratioSum[cl] += p.totalDown / p.totalUp
-			ratioN[cl]++
+		pt.StratCorr = sp.corr.Corr()
+		for cl := range pt.ShareRatioByClass {
+			if ratioN[cl] > 0 {
+				pt.ShareRatioByClass[cl] = ratioSum[cl] / ratioN[cl]
+			} else {
+				pt.ShareRatioByClass[cl] = math.NaN()
+			}
 		}
 	}
 	if f := s.flt; f != nil {
@@ -481,14 +522,6 @@ func (sp *seriesSampler) sample(s *Swarm) SeriesPoint {
 		pt.Crashed = f.totalCrashed
 		pt.AnnounceFailures = f.announceFailures
 		pt.AnnounceRetries = f.announceRetries
-	}
-	pt.StratCorr = sp.corr.Corr()
-	for cl := range pt.ShareRatioByClass {
-		if ratioN[cl] > 0 {
-			pt.ShareRatioByClass[cl] = ratioSum[cl] / ratioN[cl]
-		} else {
-			pt.ShareRatioByClass[cl] = math.NaN()
-		}
 	}
 	return pt
 }

@@ -1,0 +1,467 @@
+package btsim
+
+// shard.go is the sharded, event-driven stepping layer.
+//
+// # Sharding
+//
+// The CSR slot space is partitioned into fixed ranges of slotsPerShard
+// slots (a multiple of 64, so no two shards share a bitmap word). Each
+// Step phase — choke, and in content-unlimited mode the transfer send and
+// receive passes — runs as a deterministic bulk-synchronous pass over the
+// shards: workers pull shard indices off an atomic cursor, but every
+// per-slot effect depends only on the shard's own state, the shard's
+// dedicated RNG sub-stream (rng.NewStream(Seed, shard) — a pure function
+// of the shard index, independent of worker count and of when the shard
+// was materialised) and global state frozen for the phase. The result is
+// therefore byte-identical at any worker count, including workers == 1,
+// which runs the same passes inline with no pool.
+//
+// Cross-shard writes are confined to two order-free channels:
+//
+//   - the send pass writes xfer[ev] — exclusive, since exactly one
+//     uploader owns the reverse half of any edge — and marks the
+//     recipient's slot in the `incoming` bitmap with an atomic OR
+//     (idempotent, so arrival order cannot matter);
+//   - swarm-wide float totals accumulate into per-shard partials that the
+//     serial epilogue folds in shard order.
+//
+// Piece-mode transfer stays serial: a mid-round piece completion changes
+// interest and rarity for uploaders later in slot order, an inherently
+// sequential dependency (and the piece workloads are two orders of
+// magnitude smaller than the content-unlimited flashcrowd this layer
+// exists for). Choke decisions shard in both modes.
+//
+// # Event-driven stepping (dirty sets)
+//
+// Per-slot bitmaps let steady peers cost nothing between choke intervals:
+//
+//   - chokeDirty: the slot's candidate set may have changed (edges added,
+//     removed or swapped; a neighbor departed, crashed or completed).
+//   - windowNZ: some recvWindow entry in the slot's block may be nonzero.
+//   - ratesNZ: some recvRate entry may be nonzero.
+//   - xferDirty: the slot's cached active-transfer list is stale.
+//   - statDirty: the slot's sampler inputs (totals, TFT history) changed
+//     since the last series sample (see stats.go).
+//
+// A scheduled rechoke is skipped when all of chokeDirty, windowNZ and
+// ratesNZ are clear (and the peer is not a seed — seeds draw randomness
+// every interval): with every rate and window zero and the candidate set
+// unchanged, rerunning the rechoke would reproduce the previous unchoke
+// picks by id order, record no TFT accounting (rates are zero) and draw no
+// randomness (the optimistic slot cannot have been re-unchoked), so the
+// skip is outcome- and RNG-stream-exact, not approximate. The bits are
+// conservative: a spurious mark only forces a rechoke that recomputes the
+// same state. Swarm.CheckInvariants cross-checks the lazy bookkeeping
+// against an eager recomputation.
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"stratmatch/internal/par"
+	"stratmatch/internal/rng"
+	"stratmatch/internal/telemetry"
+)
+
+// defaultShardSlots is the production shard width: wide enough that a
+// 10^4-peer swarm stays effectively serial (one shard, no cross-shard
+// traffic), narrow enough that a 10^6-peer swarm has ~500 shards to load-
+// balance across workers. Tests shrink it (setShardSlots) to force churn
+// across shard boundaries.
+const defaultShardSlots = 2048
+
+// Parallel phase discriminators for runShards.
+const (
+	phChoke = iota
+	phSend
+	phRecv
+)
+
+var shardPhaseTel = [3]telemetry.PhaseID{
+	phChoke: telemetry.PhaseChokeShard,
+	phSend:  telemetry.PhaseSendShard,
+	phRecv:  telemetry.PhaseRecvShard,
+}
+
+// chokeScratch is one worker's private candidate buffers for the choke
+// pass (sized to the per-slot edge capacity).
+type chokeScratch struct {
+	candE    []int32
+	candRate []float64
+}
+
+// shardState is the Swarm's sharded/event-driven stepping state.
+type shardState struct {
+	slotsPerShard int
+	streams       []*rng.RNG // per-shard choke RNG sub-streams
+
+	workers  int
+	pool     *par.Pool
+	workerFn func(w int)
+	phase    int
+	next     atomic.Int32
+	scratch  []chokeScratch // per-worker; [0] doubles as the serial scratch
+
+	chokeDirty []uint64
+	windowNZ   []uint64
+	ratesNZ    []uint64
+	xferDirty  []uint64
+	statDirty  []uint64
+
+	// Content-unlimited transfer state (nil in piece mode): xfer[e] is the
+	// kbit written to edge e's owner this round by the e-reverse uploader,
+	// incoming flags slots with any nonzero xfer entry, and
+	// activeEdges[sl*activeStride:…]/activeCnt[sl] cache the slot's active
+	// transfer list between choke changes.
+	xfer         []float64
+	incoming     []uint64
+	activeCnt    []int32
+	activeEdges  []int32
+	activeStride int
+
+	// Per-shard partial sums for sumUp/sumDown, strided by 8 words to keep
+	// writers off each other's cache lines; folded serially in shard order.
+	sumUp   []float64
+	sumDown []float64
+}
+
+// Slot-bitmap helpers. All Step-phase writers touch only words of their
+// own shard (shard bounds are 64-aligned), so these need no atomics; the
+// one cross-shard marking (incoming) uses atomic OR directly.
+func bmWords(n int) int             { return (n + 63) >> 6 }
+func bmGet(bm []uint64, i int) bool { return bm[i>>6]&(1<<uint(i&63)) != 0 }
+func bmSet(bm []uint64, i int)      { bm[i>>6] |= 1 << uint(i&63) }
+func bmClear(bm []uint64, i int)    { bm[i>>6] &^= 1 << uint(i&63) }
+
+// numShards returns the shard count for the current slot capacity.
+func (s *Swarm) numShards() int {
+	return (s.slotCap + s.sh.slotsPerShard - 1) / s.sh.slotsPerShard
+}
+
+// shardBounds returns shard k's slot range [lo, hi).
+func (s *Swarm) shardBounds(k int) (lo, hi int) {
+	lo = k * s.sh.slotsPerShard
+	hi = lo + s.sh.slotsPerShard
+	if hi > s.slotCap {
+		hi = s.slotCap
+	}
+	return lo, hi
+}
+
+// initShards sets up the shard layer at construction time (after the slot
+// arrays exist, before any wiring: the addEdge marks from the initial
+// announces land in live bitmaps).
+func (s *Swarm) initShards() {
+	sh := &s.sh
+	sh.slotsPerShard = defaultShardSlots
+	sh.activeStride = s.opt.TFTSlots + s.opt.OptimisticSlots
+	sh.workers = 1
+	sh.scratch = make([]chokeScratch, 1)
+	s.initChokeScratch(&sh.scratch[0])
+	s.resizeShards()
+}
+
+func (s *Swarm) initChokeScratch(sc *chokeScratch) {
+	sc.candE = make([]int32, s.edgeCap)
+	sc.candRate = make([]float64, s.edgeCap)
+}
+
+// resizeShards (re)sizes the slot-indexed shard state for s.slotCap,
+// preserving existing content, and materialises streams for any new
+// shards. Stream k is a pure function of (Seed, k), so growth never
+// perturbs existing shards.
+func (s *Swarm) resizeShards() {
+	sh := &s.sh
+	n := s.numShards()
+	for k := len(sh.streams); k < n; k++ {
+		sh.streams = append(sh.streams, rng.NewStream(s.opt.Seed, uint64(k)))
+	}
+	w := bmWords(s.slotCap)
+	sh.chokeDirty = grown(sh.chokeDirty, w)
+	sh.windowNZ = grown(sh.windowNZ, w)
+	sh.ratesNZ = grown(sh.ratesNZ, w)
+	sh.xferDirty = grown(sh.xferDirty, w)
+	sh.statDirty = grown(sh.statDirty, w)
+	sh.sumUp = grown(sh.sumUp, n*8)
+	sh.sumDown = grown(sh.sumDown, n*8)
+	if s.opt.ContentUnlimited {
+		sh.xfer = grown(sh.xfer, s.slotCap*int(s.edgeCap))
+		sh.incoming = grown(sh.incoming, w)
+		sh.activeCnt = grown(sh.activeCnt, s.slotCap)
+		sh.activeEdges = grown(sh.activeEdges, s.slotCap*sh.activeStride)
+	}
+	s.tel.SetGauge(telemetry.GaugeShards, int64(n))
+}
+
+// setShardSlots overrides the shard width (tests only: shard-boundary
+// churn coverage needs boundaries inside small populations). Must be
+// called before any Step; the per-shard streams are re-derived, so two
+// swarms agree byte-for-byte only when their widths agree.
+func (s *Swarm) setShardSlots(n int) {
+	if n < 64 || n%64 != 0 {
+		panic("btsim: shard width must be a positive multiple of 64")
+	}
+	s.sh.slotsPerShard = n
+	s.sh.streams = s.sh.streams[:0]
+	s.resizeShards()
+}
+
+// SetStepWorkers sets how many goroutines Step's sharded phases use;
+// n <= 1 steps inline on the calling goroutine. The simulation trajectory
+// is byte-identical at every setting — shards own their RNG sub-streams
+// and all cross-shard effects merge in shard order — so the worker count
+// is a runtime knob, not part of Options and not checkpointed: a run may
+// checkpoint under one worker count and resume under another. Swarms
+// stepped with n > 1 hold a worker pool; Close releases it.
+func (s *Swarm) SetStepWorkers(n int) {
+	sh := &s.sh
+	if n < 1 {
+		n = 1
+	}
+	if n != sh.workers {
+		if sh.pool != nil {
+			sh.pool.Close()
+			sh.pool = nil
+		}
+		sh.workers = n
+		for len(sh.scratch) < n {
+			sh.scratch = append(sh.scratch, chokeScratch{})
+			s.initChokeScratch(&sh.scratch[len(sh.scratch)-1])
+		}
+		if n > 1 {
+			sh.pool = par.NewPool(n)
+			sh.workerFn = s.shardWorker
+		}
+	}
+	s.tel.SetGauge(telemetry.GaugeStepWorkers, int64(n))
+}
+
+// StepWorkers reports the current worker setting.
+func (s *Swarm) StepWorkers() int { return s.sh.workers }
+
+// Close releases the swarm's worker pool; a no-op for serial swarms and
+// safe to call more than once.
+func (s *Swarm) Close() {
+	if s.sh.pool != nil {
+		s.sh.pool.Close()
+		s.sh.pool = nil
+		s.sh.workers = 1
+	}
+}
+
+// runShards executes one phase over every shard: inline in shard order
+// when serial, via the persistent pool otherwise. Shard handout order is
+// irrelevant to the result (each shard is self-contained for the phase),
+// so the atomic cursor needs no further coordination.
+func (s *Swarm) runShards(ph int) {
+	n := s.numShards()
+	if s.sh.workers <= 1 || s.sh.pool == nil {
+		for k := 0; k < n; k++ {
+			s.runShard(k, ph, 0)
+		}
+		return
+	}
+	s.sh.phase = ph
+	s.sh.next.Store(0)
+	s.sh.pool.Run(s.sh.workerFn)
+}
+
+func (s *Swarm) shardWorker(w int) {
+	n := int32(s.numShards())
+	ph := s.sh.phase
+	for {
+		k := s.sh.next.Add(1) - 1
+		if k >= n {
+			return
+		}
+		s.runShard(int(k), ph, w)
+	}
+}
+
+func (s *Swarm) runShard(k, ph, w int) {
+	sp := s.tel.StartPhase(shardPhaseTel[ph])
+	switch ph {
+	case phChoke:
+		s.chokeShard(k, w)
+	case phSend:
+		s.sendShard(k)
+	case phRecv:
+		s.recvShard(k)
+	}
+	s.tel.EndPhase(shardPhaseTel[ph], sp)
+}
+
+// chokeShard runs the choke schedule over one shard's slots, drawing any
+// randomness (seed rotation, optimistic picks) from the shard's own
+// sub-stream. On-schedule leechers whose dirty bits are all clear are
+// skipped — see the package comment for why the skip is exact.
+func (s *Swarm) chokeShard(k, w int) {
+	lo, hi := s.shardBounds(k)
+	rr := s.sh.streams[k]
+	sc := &s.sh.scratch[w]
+	ci := s.opt.ChokeIntervalRounds
+	oi := s.opt.OptimisticIntervalRounds
+	for sl := lo; sl < hi; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
+			continue
+		}
+		p := &s.peers[id]
+		if p.departed {
+			continue // crash-stop: a dead peer takes no protocol actions
+		}
+		if (s.round+p.id)%ci == 0 {
+			if p.done || bmGet(s.sh.chokeDirty, sl) || bmGet(s.sh.windowNZ, sl) || bmGet(s.sh.ratesNZ, sl) {
+				s.rechokePeer(p, sl, rr, sc)
+			} else {
+				s.tel.Inc(telemetry.CtrChokeSkips)
+			}
+		}
+		if !p.done && (s.round+p.id)%oi == 0 {
+			s.rotateOptimisticPeer(p, rr, sc)
+			bmSet(s.sh.xferDirty, sl)
+		}
+	}
+}
+
+// rebuildActive recomputes slot sl's cached active-transfer list: the
+// edges that are unchoked (or the optimistic pick) towards a present
+// leecher. The cache is a pure function of choke state and neighbor
+// liveness, both frozen during the transfer phase, and every mutation of
+// either marks xferDirty — so a clean cache equals the eager scan
+// (cross-checked by CheckInvariants).
+func (s *Swarm) rebuildActive(sl int, u *peer) {
+	s.tel.Inc(telemetry.CtrActiveRebuilds)
+	base := int32(sl) * s.edgeCap
+	end := base + s.deg[sl]
+	abase := sl * s.sh.activeStride
+	na := 0
+	for e := base; e < end; e++ {
+		if !s.unchoked[e] && e != u.optimistic {
+			continue
+		}
+		v := &s.peers[s.nbr[e]]
+		if !v.departed && !v.isSeed {
+			s.sh.activeEdges[abase+na] = e
+			na++
+		}
+	}
+	s.sh.activeCnt[sl] = int32(na)
+}
+
+// sendShard is the content-unlimited uploader pass over one shard: each
+// present uploader splits its capacity over its cached active list,
+// writing the per-edge amount into xfer (exclusive: one uploader per
+// reverse edge) and flagging the recipient's slot. Only uploader-local
+// state (totalUp, the shard partial) is accumulated here; recipient-side
+// accumulation happens in recvShard so each float total has exactly one
+// deterministic accumulation order.
+func (s *Swarm) sendShard(k int) {
+	lo, hi := s.shardBounds(k)
+	sh := &s.sh
+	var sumUp float64
+	for sl := lo; sl < hi; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
+			continue
+		}
+		u := &s.peers[id]
+		if u.departed || u.capacity <= 0 {
+			continue
+		}
+		if bmGet(sh.xferDirty, sl) {
+			s.rebuildActive(sl, u)
+			bmClear(sh.xferDirty, sl)
+		}
+		na := int(sh.activeCnt[sl])
+		if na == 0 {
+			continue
+		}
+		share := u.capacity / float64(na)
+		abase := sl * sh.activeStride
+		for a := 0; a < na; a++ {
+			ev := s.rev[sh.activeEdges[abase+a]] // recipient's edge back to u
+			sh.xfer[ev] = share
+			vsl := int(ev / s.edgeCap)
+			atomic.OrUint64(&sh.incoming[vsl>>6], 1<<uint(vsl&63))
+			u.totalUp += share
+			sumUp += share
+		}
+		if !u.isSeed {
+			bmSet(sh.statDirty, sl) // the uploader's share ratio moved
+		}
+	}
+	sh.sumUp[k*8] = sumUp
+}
+
+// recvShard is the content-unlimited downloader pass over one shard:
+// every slot flagged by uploaders drains its xfer entries into its
+// receive windows and download totals (in edge order — deterministic and
+// worker-independent), leaving xfer all-zero and incoming clear for the
+// next round.
+func (s *Swarm) recvShard(k int) {
+	lo, hi := s.shardBounds(k)
+	sh := &s.sh
+	var sumDown float64
+	for wi := lo >> 6; wi < (hi+63)>>6; wi++ {
+		bitsW := sh.incoming[wi]
+		if bitsW == 0 {
+			continue
+		}
+		sh.incoming[wi] = 0
+		for bitsW != 0 {
+			t := bits.TrailingZeros64(bitsW)
+			sl := wi<<6 + t
+			bitsW &^= 1 << uint(t)
+			v := &s.peers[s.slotPeer[sl]]
+			base := int32(sl) * s.edgeCap
+			end := base + s.deg[sl]
+			for e := base; e < end; e++ {
+				a := sh.xfer[e]
+				if a == 0 {
+					continue
+				}
+				sh.xfer[e] = 0
+				s.recvWindow[e] += a
+				v.totalDown += a
+				sumDown += a
+			}
+			bmSet(sh.windowNZ, sl)
+			bmSet(sh.statDirty, sl)
+		}
+	}
+	sh.sumDown[k*8] = sumDown
+}
+
+// foldShardSums folds the transfer passes' per-shard partials into the
+// swarm totals, in shard order (deterministic at any worker count).
+func (s *Swarm) foldShardSums() {
+	n := s.numShards()
+	for k := 0; k < n; k++ {
+		s.sumUp += s.sh.sumUp[k*8]
+		s.sumDown += s.sh.sumDown[k*8]
+		s.sh.sumUp[k*8] = 0
+		s.sh.sumDown[k*8] = 0
+	}
+}
+
+// slotRecycled resets the shard layer's per-slot flags when sl gets a new
+// occupant: the newcomer is conservatively marked for rechoke and cache
+// rebuild, while the previous occupant's window/rate flags die with its
+// edges (a fresh slot has none).
+func (s *Swarm) slotRecycled(sl int) {
+	sh := &s.sh
+	bmSet(sh.chokeDirty, sl)
+	bmSet(sh.xferDirty, sl)
+	bmClear(sh.windowNZ, sl)
+	bmClear(sh.ratesNZ, sl)
+	bmClear(sh.statDirty, sl)
+}
+
+// markEdgeTouched flags a slot whose edge block changed shape (an edge
+// added, removed or swapped into a new index): both the candidate set and
+// the cached active list may be stale.
+func (s *Swarm) markEdgeTouched(sl int32) {
+	bmSet(s.sh.chokeDirty, int(sl))
+	bmSet(s.sh.xferDirty, int(sl))
+}

@@ -571,6 +571,14 @@ func FaultScenarioNames() []string {
 	return []string{"trackerdown", "splitbrain", "crashcrowd"}
 }
 
+// XLScenarioNames lists the extra-large stress scenarios. They are kept
+// out of ScenarioNames — catalog-wide sweeps and checkpoint matrices would
+// take hours at these populations — but NamedSpec resolves them like any
+// other name, so the CLI and the CI smoke job reach them explicitly.
+func XLScenarioNames() []string {
+	return []string{"flashcrowd1m"}
+}
+
 // NamedSpec builds the spec of one of the canonical churn scenarios at the
 // given seed and population scale (1.0 = the default size; scales below
 // ~0.1 are clamped entry-by-entry to stay meaningful). The catalog:
@@ -605,6 +613,11 @@ func FaultScenarioNames() []string {
 //     a window, leaving stale neighbor entries until the failure-detection
 //     sweep retires them; the stale-edge telemetry must drain to zero
 //     after the window.
+//   - flashcrowd1m: the million-peer flash crowd (XLScenarioNames): a
+//     content-unlimited swarm absorbs ~10^6 newcomers in a ~100-round
+//     burst with every round sampled — the sharded stepping and dirty-set
+//     stress workload. At scale 1 it needs the parallel stepper
+//     (Scenario.StepWorkers / -step-workers) to finish in sane time.
 func NamedSpec(name string, seed uint64, scale float64) (ScenarioSpec, error) {
 	if scale <= 0 {
 		scale = 1
@@ -808,6 +821,28 @@ func NamedSpec(name string, seed uint64, scale float64) (ScenarioSpec, error) {
 					{Kind: FaultCrash, Start: n(150, 60), Rounds: n(450, 200), Rate: 0.002},
 				},
 			},
+		}, nil
+	case "flashcrowd1m":
+		// Content-unlimited (the stratification regime, where the transfer
+		// phase shards perfectly) with a minimal piece grid: at a million
+		// slots every per-piece byte is ~1 MB of state.
+		opt := base
+		opt.ContentUnlimited = true
+		opt.Pieces = 1
+		opt.NeighborCount = 8
+		opt.MaxNeighbors = 12
+		opt.Leechers = n(800, 64)
+		opt.Seeds = n(200, 8)
+		opt.MetricsWarmupRounds = 30
+		burst := n(999_000, 2000)
+		opt.MaxPeers = opt.Leechers + opt.Seeds + burst
+		return ScenarioSpec{
+			Name:        name,
+			Swarm:       opt,
+			Rounds:      n(200, 120),
+			Arrivals:    []ArrivalSpec{{Kind: "burst", Start: 5, Rounds: n(100, 50), Total: burst}},
+			Capacity:    saroiu,
+			SampleEvery: 1,
 		}, nil
 	}
 	return ScenarioSpec{}, fmt.Errorf("btsim: unknown scenario %q (known: %v)", name, ScenarioNames())

@@ -1,6 +1,9 @@
 package btsim
 
-import "stratmatch/internal/telemetry"
+import (
+	"stratmatch/internal/rng"
+	"stratmatch/internal/telemetry"
+)
 
 // Step advances the simulation by one round (one second): choke decisions on
 // their (per-peer staggered) schedule, then one round of data transfer.
@@ -8,31 +11,26 @@ import "stratmatch/internal/telemetry"
 // choke timers; synchronizing them makes Tit-for-Tat pairs oscillate instead
 // of locking in.
 //
-// Steady-state stepping is allocation-free: all per-edge state and scratch
-// space lives in the preallocated slot arrays. Peers are visited in slot
-// order — deterministic, and bounded by the concurrent population peak, not
-// by the (append-only) roster.
+// Both halves run as deterministic bulk-synchronous passes over the slot
+// shards (see shard.go): the choke pass shards in every mode, and in
+// content-unlimited mode the transfer splits into a send pass and a receive
+// pass with the cross-shard flow buffered in between. Piece-mode transfer
+// stays serial — mid-round piece completions are an inherently sequential
+// dependency. The result is byte-identical at any SetStepWorkers setting,
+// and steady-state stepping is allocation-free at any worker count.
 func (s *Swarm) Step() {
+	s.flushJoinRanks()
 	sp := s.tel.StartPhase(telemetry.PhaseChoke)
-	for sl := 0; sl < s.slotCap; sl++ {
-		id := s.slotPeer[sl]
-		if id < 0 {
-			continue
-		}
-		p := &s.peers[id]
-		if p.departed {
-			continue // crash-stop: a dead peer takes no protocol actions
-		}
-		if (s.round+p.id)%s.opt.ChokeIntervalRounds == 0 {
-			s.rechokePeer(p)
-		}
-		if !p.done && (s.round+p.id)%s.opt.OptimisticIntervalRounds == 0 {
-			s.rotateOptimisticPeer(p)
-		}
-	}
+	s.runShards(phChoke)
 	s.tel.EndPhase(telemetry.PhaseChoke, sp)
 	sp = s.tel.StartPhase(telemetry.PhaseTransfer)
-	s.transfer()
+	if s.opt.ContentUnlimited {
+		s.runShards(phSend)
+		s.runShards(phRecv)
+		s.foldShardSums()
+	} else {
+		s.transfer()
+	}
 	s.tel.EndPhase(telemetry.PhaseTransfer, sp)
 	s.tel.Inc(telemetry.CtrRounds)
 	s.round++
@@ -74,8 +72,13 @@ func (s *Swarm) Depart(id int) {
 	if id < 0 || id >= len(s.peers) || s.peers[id].departed {
 		return
 	}
+	s.flushJoinRanks() // the shift below needs settled ranks
 	p := &s.peers[id]
 	sl := p.slot
+	if s.stats != nil {
+		s.stats.remove(int(sl))
+	}
+	bmClear(s.sh.statDirty, int(sl))
 	base := sl * s.edgeCap
 	for s.deg[sl] > 0 {
 		e := base + s.deg[sl] - 1 // unwire p's edges from the back
@@ -112,11 +115,15 @@ func (s *Swarm) Depart(id int) {
 	s.trackerUnregister(id)
 
 	// Present peers ranked below the leaver shift up one; p keeps the rank
-	// it held at departure.
+	// it held at departure. The incremental sampler's rank sums shift along.
 	pr := s.rank[id]
+	st := s.stats
 	for _, j := range s.trk.present {
 		if s.rank[j] > pr {
 			s.rank[j]--
+			if st != nil {
+				st.shiftRank(int(s.peers[j].slot), -1)
+			}
 		}
 	}
 
@@ -138,18 +145,26 @@ func (s *Swarm) Crash(id int) {
 	if s.flt == nil || id < 0 || id >= len(s.peers) || s.peers[id].departed {
 		return
 	}
+	s.flushJoinRanks() // the shift below needs settled ranks
 	f := s.flt
 	p := &s.peers[id]
 	sl := p.slot
+	if s.stats != nil {
+		s.stats.remove(int(sl))
+	}
+	bmClear(s.sh.statDirty, int(sl))
 	// Stale-edge accounting: every present neighbor's half towards p goes
 	// stale; p's own halves towards already-crashed neighbors stop counting
-	// (their owner is no longer present).
+	// (their owner is no longer present). Surviving neighbors' candidate
+	// sets and active lists just changed — mark them for the lazy stepper.
 	base := sl * s.edgeCap
 	for e := base; e < base+s.deg[sl]; e++ {
-		if s.peers[s.nbr[e]].departed {
+		q := &s.peers[s.nbr[e]]
+		if q.departed {
 			f.staleEdges--
 		} else {
 			f.staleEdges++
+			s.markEdgeTouched(q.slot)
 		}
 	}
 	s.liveDegSum -= int64(s.deg[sl]) // p's own halves leave the present sum
@@ -165,9 +180,13 @@ func (s *Swarm) Crash(id int) {
 	// Present peers ranked below the crasher shift up one, exactly as in a
 	// graceful departure; p keeps the rank it held.
 	pr := s.rank[id]
+	st := s.stats
 	for _, j := range s.trk.present {
 		if s.rank[j] > pr {
 			s.rank[j]--
+			if st != nil {
+				st.shiftRank(int(s.peers[j].slot), -1)
+			}
 		}
 	}
 	f.totalCrashed++
@@ -247,35 +266,52 @@ func (s *Swarm) wantsAlong(v, u *peer, e int32) bool {
 }
 
 // rechokePeer recomputes p's rates from its elapsed window and reassigns its
-// TFT slots.
-func (s *Swarm) rechokePeer(p *peer) {
+// TFT slots. It runs under the choke shard pass: sl is p's slot, rr the
+// shard's RNG sub-stream and sc the calling worker's candidate scratch.
+// The window → rate fold is skipped when the dirty bits prove both are
+// already all-zero (the steady-peer case); the skip writes exactly the
+// values the fold would have.
+func (s *Swarm) rechokePeer(p *peer, sl int, rr *rng.RNG, sc *chokeScratch) {
 	s.tel.Inc(telemetry.CtrRechokes)
-	interval := float64(s.opt.ChokeIntervalRounds)
-	base, end := s.edges(p.id)
-	for e := base; e < end; e++ {
-		s.recvRate[e] = s.recvWindow[e] / interval
-		s.recvWindow[e] = 0
+	hadWindow := bmGet(s.sh.windowNZ, sl)
+	if hadWindow || bmGet(s.sh.ratesNZ, sl) {
+		interval := float64(s.opt.ChokeIntervalRounds)
+		base := int32(sl) * s.edgeCap
+		end := base + s.deg[sl]
+		for e := base; e < end; e++ {
+			s.recvRate[e] = s.recvWindow[e] / interval
+			s.recvWindow[e] = 0
+		}
+		bmClear(s.sh.windowNZ, sl)
+		if hadWindow {
+			bmSet(s.sh.ratesNZ, sl)
+		} else {
+			bmClear(s.sh.ratesNZ, sl)
+		}
 	}
 	if p.done {
-		s.rechokeSeed(p)
+		s.rechokeSeed(p, sl, rr, sc)
 	} else {
-		s.rechokeLeecher(p)
+		s.rechokeLeecher(p, sl, rr, sc)
 	}
+	bmClear(s.sh.chokeDirty, sl)
+	bmSet(s.sh.xferDirty, sl)
 }
 
 // rechokeLeecher implements Tit-for-Tat: unchoke the TFTSlots neighbors that
 // delivered the most data in the last interval and are interested in us.
-func (s *Swarm) rechokeLeecher(p *peer) {
+func (s *Swarm) rechokeLeecher(p *peer, sl int, rr *rng.RNG, sc *chokeScratch) {
 	nc := 0
-	base, end := s.edges(p.id)
+	base := int32(sl) * s.edgeCap
+	end := base + s.deg[sl]
 	for e := base; e < end; e++ {
 		s.unchoked[e] = false
 		q := &s.peers[s.nbr[e]]
 		if !s.wantsAlong(q, p, s.rev[e]) {
 			continue
 		}
-		s.candE[nc] = e
-		s.candRate[nc] = s.recvRate[e]
+		sc.candE[nc] = e
+		sc.candRate[nc] = s.recvRate[e]
 		nc++
 	}
 	// Partial selection sort of the top TFTSlots by (rate desc, id asc).
@@ -283,61 +319,68 @@ func (s *Swarm) rechokeLeecher(p *peer) {
 	if slots > nc {
 		slots = nc
 	}
+	accounted := false
 	for pos := 0; pos < slots; pos++ {
 		best := pos
 		for i := pos + 1; i < nc; i++ {
-			if s.candRate[i] > s.candRate[best] ||
-				(s.candRate[i] == s.candRate[best] &&
-					s.nbr[s.candE[i]] < s.nbr[s.candE[best]]) {
+			if sc.candRate[i] > sc.candRate[best] ||
+				(sc.candRate[i] == sc.candRate[best] &&
+					s.nbr[sc.candE[i]] < s.nbr[sc.candE[best]]) {
 				best = i
 			}
 		}
-		s.candE[pos], s.candE[best] = s.candE[best], s.candE[pos]
-		s.candRate[pos], s.candRate[best] = s.candRate[best], s.candRate[pos]
-		s.unchoked[s.candE[pos]] = true
+		sc.candE[pos], sc.candE[best] = sc.candE[best], sc.candE[pos]
+		sc.candRate[pos], sc.candRate[best] = sc.candRate[best], sc.candRate[pos]
+		s.unchoked[sc.candE[pos]] = true
 		// Stratification accounting: record the TFT partner's global rank,
 		// but only for rate-driven choices after the warmup — zero-rate
 		// picks are id-order artifacts, and early intervals measure mixing
 		// noise rather than Tit-for-Tat preferences.
-		if s.candRate[pos] > 0 && s.round >= s.opt.MetricsWarmupRounds {
-			p.tftPartnerRankSum += float64(s.rank[s.nbr[s.candE[pos]]])
+		if sc.candRate[pos] > 0 && s.round >= s.opt.MetricsWarmupRounds {
+			p.tftPartnerRankSum += float64(s.rank[s.nbr[sc.candE[pos]]])
 			p.tftPartnerCount++
+			accounted = true
 		}
+	}
+	if accounted {
+		bmSet(s.sh.statDirty, sl) // the peer's mean TFT partner rank moved
 	}
 	// If the optimistic pick just earned a TFT slot, the optimistic slot
 	// moves to a fresh choked neighbor (BitTorrent rotates it early).
 	if p.optimistic >= 0 && s.unchoked[p.optimistic] {
-		s.rotateOptimisticPeer(p)
+		s.rotateOptimisticPeer(p, rr, sc)
 	}
 }
 
 // rechokeSeed gives seeds (and finished leechers) a fresh random set of
 // interested neighbors each interval — the rotation keeps seed capacity
 // spread over the swarm instead of captured by one peer.
-func (s *Swarm) rechokeSeed(p *peer) {
+func (s *Swarm) rechokeSeed(p *peer, sl int, rr *rng.RNG, sc *chokeScratch) {
 	p.optimistic = -1 // seeds fold the optimistic slot into rotation
 	nc := 0
-	base, end := s.edges(p.id)
+	base := int32(sl) * s.edgeCap
+	end := base + s.deg[sl]
 	for e := base; e < end; e++ {
 		s.unchoked[e] = false
 		q := &s.peers[s.nbr[e]]
 		if s.wantsAlong(q, p, s.rev[e]) {
-			s.candE[nc] = e
+			sc.candE[nc] = e
 			nc++
 		}
 	}
 	slots := s.opt.TFTSlots + s.opt.OptimisticSlots
 	for i := 0; i < slots && nc > 0; i++ {
-		pick := s.r.Intn(nc)
-		s.unchoked[s.candE[pick]] = true
-		s.candE[pick] = s.candE[nc-1]
+		pick := rr.Intn(nc)
+		s.unchoked[sc.candE[pick]] = true
+		sc.candE[pick] = sc.candE[nc-1]
 		nc--
 	}
 }
 
 // rotateOptimisticPeer re-draws p's optimistic unchoke uniformly among
-// interested, currently choked neighbors.
-func (s *Swarm) rotateOptimisticPeer(p *peer) {
+// interested, currently choked neighbors, from the owning shard's
+// sub-stream.
+func (s *Swarm) rotateOptimisticPeer(p *peer, rr *rng.RNG, sc *chokeScratch) {
 	if s.opt.OptimisticSlots < 1 {
 		return
 	}
@@ -348,23 +391,28 @@ func (s *Swarm) rotateOptimisticPeer(p *peer) {
 	for e := base; e < end; e++ {
 		q := &s.peers[s.nbr[e]]
 		if !s.unchoked[e] && s.wantsAlong(q, p, s.rev[e]) {
-			s.candE[nc] = e
+			sc.candE[nc] = e
 			nc++
 		}
 	}
 	if nc > 0 {
-		p.optimistic = s.candE[s.r.Intn(nc)]
+		p.optimistic = sc.candE[rr.Intn(nc)]
 	}
 }
 
-// transfer moves one round of data: every peer splits its capacity equally
-// among its active recipients (unchoked or optimistic, still interested).
-// Each connection streams into one piece at a time; several connections may
-// feed the same piece concurrently (BitTorrent downloads pieces in blocks
-// from many peers in parallel), all adding to the downloader's shared
-// per-piece progress. A connection transfers only what a piece still needs
-// and spills leftover capacity into the next piece, so no bandwidth is
-// burned on completed data.
+// transfer moves one round of data in piece mode: every peer splits its
+// capacity equally among its active recipients (unchoked or optimistic,
+// still interested). Each connection streams into one piece at a time;
+// several connections may feed the same piece concurrently (BitTorrent
+// downloads pieces in blocks from many peers in parallel), all adding to
+// the downloader's shared per-piece progress. A connection transfers only
+// what a piece still needs and spills leftover capacity into the next
+// piece, so no bandwidth is burned on completed data.
+//
+// This pass is deliberately serial: a completion mid-round changes
+// interest and rarity for uploaders later in slot order. Content-unlimited
+// transfer — where no such dependency exists — runs as the sharded
+// send/receive passes in shard.go instead.
 func (s *Swarm) transfer() {
 	P := s.opt.Pieces
 	for sl := 0; sl < s.slotCap; sl++ {
@@ -393,18 +441,12 @@ func (s *Swarm) transfer() {
 			continue
 		}
 		share := u.capacity / float64(na)
+		sent := false
 		for a := 0; a < na; a++ {
 			e := s.active[a]
 			v := &s.peers[s.nbr[e]]
 			ev := s.rev[e] // v's edge back to u: no neighbor-list search
-			if s.opt.ContentUnlimited {
-				s.recvWindow[ev] += share
-				u.totalUp += share
-				v.totalDown += share
-				s.sumUp += share
-				s.sumDown += share
-				continue
-			}
+			moved := false
 			remaining := share
 			for remaining > 1e-9 && !v.done {
 				piece := int(s.inflight[ev])
@@ -428,11 +470,21 @@ func (s *Swarm) transfer() {
 				s.sumUp += amt
 				s.sumDown += amt
 				remaining -= amt
+				moved = true
 				if s.pieceProgress[idx] >= s.opt.PieceKbit {
 					v.have.set(piece)
 					s.completePiece(v, piece)
 				}
 			}
+			if moved {
+				vsl := int(v.slot)
+				bmSet(s.sh.windowNZ, vsl)
+				bmSet(s.sh.statDirty, vsl)
+				sent = true
+			}
+		}
+		if sent && !u.isSeed {
+			bmSet(s.sh.statDirty, sl) // the uploader's share ratio moved
 		}
 	}
 }
@@ -475,17 +527,20 @@ func (s *Swarm) pickPiece(v, u *peer) int {
 
 // completePiece finalizes v's acquisition of piece: incremental interest and
 // availability bookkeeping, in-flight cleanup, and completion (seed
-// promotion) detection.
+// promotion) detection. Interest changed in both directions on every edge,
+// so v and all its neighbors are marked for the lazy choke pass.
 func (s *Swarm) completePiece(v *peer, piece int) {
 	v.haveCount++
 	P := s.opt.Pieces
 	base, end := s.edges(v.id)
+	s.markEdgeTouched(v.slot)
 	for e := base; e < end; e++ {
 		if s.inflight[e] == int32(piece) {
 			s.inflight[e] = -1
 		}
 		q := &s.peers[s.nbr[e]]
 		s.avail[int(q.slot)*P+piece]++
+		s.markEdgeTouched(q.slot)
 		if q.have.has(piece) {
 			// v no longer misses this piece from q.
 			s.want[e]--

@@ -255,11 +255,25 @@ type Swarm struct {
 
 	// Scratch buffers (sized to the per-slot edge capacity / piece count)
 	// reused by every call on the stepping hot path — Step never allocates.
-	candE    []int32
-	candRate []float64
-	active   []int32
-	mark     []uint64 // pickPiece in-flight stamps, one per piece
-	stamp    uint64
+	// (The choke candidate buffers live per worker in sh.scratch.)
+	active []int32
+	mark   []uint64 // pickPiece in-flight stamps, one per piece
+	stamp  uint64
+
+	// sh is the sharded, event-driven stepping state: shard geometry, the
+	// per-shard RNG sub-streams, dirty bitmaps, per-slot active-transfer
+	// caches and the optional persistent worker pool (see shard.go).
+	sh shardState
+
+	// stats is the engine-maintained incremental series sampler; nil
+	// unless EnableSeriesStats armed it (see stats.go).
+	stats *stratStats
+
+	// pendingJoin / rankOrder / joinSort back the batched join-rank flush
+	// (see rank.go): joins park here with rank −1 until the next rank read.
+	pendingJoin []int32
+	rankOrder   []int32
+	joinSort    joinSorter
 }
 
 // New builds a swarm. Peer ids 0..Leechers-1 are leechers,
@@ -357,10 +371,11 @@ func New(o Options) (*Swarm, error) {
 	s.avail = make([]int32, s.slotCap*opt.Pieces)
 	s.pieceProgress = make([]float64, s.slotCap*opt.Pieces)
 
-	s.candE = make([]int32, s.edgeCap)
-	s.candRate = make([]float64, s.edgeCap)
 	s.active = make([]int32, s.edgeCap)
 	s.mark = make([]uint64, opt.Pieces)
+	s.rankOrder = make([]int32, s.slotCap)
+	s.joinSort.s = s
+	s.initShards()
 
 	// Initial wiring goes through the tracker, exactly like later joins:
 	// every peer registers, then announces in id order, topping its
@@ -480,22 +495,17 @@ func (s *Swarm) Join(capacityKbps float64, asSeed bool) int {
 	if s.flt != nil {
 		s.flt.slotJoined(sl)
 	}
+	s.slotRecycled(int(sl))
+	if s.stats != nil {
+		s.stats.initSlot(int(sl), capacityKbps)
+	}
 
-	// Rank insertion among the present population: the newcomer slots in
-	// at its capacity position and everyone at or below shifts down one.
-	nr := 0
-	for _, j := range s.trk.present {
-		q := &s.peers[j]
-		if q.capacity > capacityKbps || (q.capacity == capacityKbps && q.id < id) {
-			nr++
-		}
-	}
-	for _, j := range s.trk.present {
-		if s.rank[j] >= nr {
-			s.rank[j]++
-		}
-	}
-	s.rank = append(s.rank, nr)
+	// Rank assignment is deferred: the newcomer parks on the pending list
+	// with rank −1 and the batch merges in before the next rank read (see
+	// rank.go) — O(present + k·log k) per flash-crowd round instead of
+	// O(k·present).
+	s.rank = append(s.rank, -1)
+	s.pendingJoin = append(s.pendingJoin, int32(id))
 
 	s.tel.Inc(telemetry.CtrJoins)
 	s.trackerRegister(id)
@@ -550,6 +560,11 @@ func (s *Swarm) grow() {
 	if s.flt != nil {
 		s.flt.growFaults(s.slotCap)
 	}
+	s.rankOrder = grown(s.rankOrder, s.slotCap)
+	if s.stats != nil {
+		s.stats.grow(s.slotCap)
+	}
+	s.resizeShards()
 }
 
 // addEdge wires a symmetric connection between two present peers, seeding
@@ -572,6 +587,8 @@ func (s *Swarm) addEdge(a, b *peer) {
 	s.deg[asl]++
 	s.deg[bsl]++
 	s.liveDegSum += 2
+	s.markEdgeTouched(asl)
+	s.markEdgeTouched(bsl)
 }
 
 // removeEdgeHalf deletes edge er from q's block by swapping the block's
@@ -602,6 +619,7 @@ func (s *Swarm) removeEdgeHalf(q *peer, er int32) {
 	if !q.departed {
 		s.liveDegSum--
 	}
+	s.markEdgeTouched(qsl)
 }
 
 // hasEdge reports whether peer a already has a connection to peer id b.

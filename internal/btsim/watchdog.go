@@ -16,6 +16,8 @@ import "fmt"
 // scratch, so it is a debugging tool — scenarios run it per round only
 // when FaultsSpec.Watchdog is set.
 func (s *Swarm) CheckInvariants() error {
+	// The rank-permutation audit below reads ranks.
+	s.flushJoinRanks()
 	// Crashed-but-unswept ids: allowed to hold slots while departed.
 	pending := make(map[int32]bool)
 	if s.flt != nil {
@@ -175,6 +177,170 @@ func (s *Swarm) CheckInvariants() error {
 	}
 	if s.flt == nil && stale != 0 {
 		return fmt.Errorf("btsim: invariant: %d stale edges without a fault layer", stale)
+	}
+	if err := s.checkLazyStepping(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// checkLazyStepping cross-checks the event-driven bookkeeping against an
+// eager recomputation: a clear dirty bit is a claim ("nothing here changed")
+// that must be provably true, while a spurious set bit is merely
+// conservative and not audited. It runs as part of CheckInvariants, between
+// rounds, when the cross-round transfer scratch must also be quiescent.
+func (s *Swarm) checkLazyStepping() error {
+	sh := &s.sh
+	// The send/recv handoff scratch must be fully drained between rounds.
+	for i, w := range sh.incoming {
+		if w != 0 {
+			return fmt.Errorf("btsim: invariant: incoming bitmap word %d nonzero between rounds", i)
+		}
+	}
+	for e, a := range sh.xfer {
+		if a != 0 {
+			return fmt.Errorf("btsim: invariant: xfer[%d] = %g left over between rounds", e, a)
+		}
+	}
+	for sl := 0; sl < s.slotCap; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
+			continue
+		}
+		p := &s.peers[id]
+		base := int32(sl) * s.edgeCap
+		end := base + s.deg[sl]
+		// A clear windowNZ/ratesNZ bit claims the slot's whole window/rate
+		// block is zero — the claim the exact choke skip relies on.
+		if !bmGet(sh.windowNZ, sl) {
+			for e := base; e < end; e++ {
+				if s.recvWindow[e] != 0 {
+					return fmt.Errorf("btsim: invariant: slot %d windowNZ clear but recvWindow[%d] = %g",
+						sl, e, s.recvWindow[e])
+				}
+			}
+		}
+		if !bmGet(sh.ratesNZ, sl) {
+			for e := base; e < end; e++ {
+				if s.recvRate[e] != 0 {
+					return fmt.Errorf("btsim: invariant: slot %d ratesNZ clear but recvRate[%d] = %g",
+						sl, e, s.recvRate[e])
+				}
+			}
+		}
+		// A clean active-list cache must equal the eager recomputation.
+		if s.opt.ContentUnlimited && !p.departed && p.capacity > 0 && !bmGet(sh.xferDirty, sl) {
+			abase := sl * sh.activeStride
+			na := 0
+			for e := base; e < end; e++ {
+				if !s.unchoked[e] && e != p.optimistic {
+					continue
+				}
+				v := &s.peers[s.nbr[e]]
+				if v.departed || v.isSeed {
+					continue
+				}
+				if na >= int(sh.activeCnt[sl]) || sh.activeEdges[abase+na] != e {
+					return fmt.Errorf("btsim: invariant: slot %d active cache diverges from eager scan at entry %d", sl, na)
+				}
+				na++
+			}
+			if na != int(sh.activeCnt[sl]) {
+				return fmt.Errorf("btsim: invariant: slot %d active cache holds %d edges, eager scan %d",
+					sl, sh.activeCnt[sl], na)
+			}
+		}
+	}
+	return s.checkLazyStats()
+}
+
+// checkLazyStats audits the incremental series sampler: every non-dirty,
+// present, non-seed slot's cached contribution must exactly equal a fresh
+// recomputation (the cached values were computed from the same inputs by
+// the same expressions), and the global accumulators must match the sum of
+// the cached rows up to float re-association.
+func (s *Swarm) checkLazyStats() error {
+	st := s.stats
+	if st == nil {
+		return nil
+	}
+	var n int
+	var sx, sy, sxx, syy, sxy float64
+	var rsum [3]float64
+	var rn [3]int
+	for sl := 0; sl < s.slotCap; sl++ {
+		id := s.slotPeer[sl]
+		if id < 0 {
+			continue
+		}
+		p := &s.peers[id]
+		if p.departed || p.isSeed {
+			continue
+		}
+		dirty := bmGet(s.sh.statDirty, sl)
+		if !dirty {
+			if st.cls[sl] != st.class(p.capacity) {
+				return fmt.Errorf("btsim: invariant: slot %d cached capacity class %d, recomputed %d",
+					sl, st.cls[sl], st.class(p.capacity))
+			}
+			if st.inCorr[sl] != (p.tftPartnerCount > 0) {
+				return fmt.Errorf("btsim: invariant: slot %d inCorr %v with %d TFT partners",
+					sl, st.inCorr[sl], p.tftPartnerCount)
+			}
+			if st.inCorr[sl] {
+				x := float64(s.rank[id])
+				y := p.tftPartnerRankSum / float64(p.tftPartnerCount)
+				if st.x[sl] != x || st.y[sl] != y {
+					return fmt.Errorf("btsim: invariant: slot %d cached corr point (%g, %g), recomputed (%g, %g)",
+						sl, st.x[sl], st.y[sl], x, y)
+				}
+			}
+			if st.inRatio[sl] != (p.totalUp > 0) {
+				return fmt.Errorf("btsim: invariant: slot %d inRatio %v with totalUp %g",
+					sl, st.inRatio[sl], p.totalUp)
+			}
+			if st.inRatio[sl] && st.ratio[sl] != p.totalDown/p.totalUp {
+				return fmt.Errorf("btsim: invariant: slot %d cached ratio %g, recomputed %g",
+					sl, st.ratio[sl], p.totalDown/p.totalUp)
+			}
+		}
+		// Sum the cached rows (dirty slots included: their stale cache is
+		// what the accumulators still hold).
+		if st.inCorr[sl] {
+			n++
+			sx += st.x[sl]
+			sy += st.y[sl]
+			sxx += st.x[sl] * st.x[sl]
+			syy += st.y[sl] * st.y[sl]
+			sxy += st.x[sl] * st.y[sl]
+		}
+		if st.inRatio[sl] {
+			rsum[st.cls[sl]] += st.ratio[sl]
+			rn[st.cls[sl]]++
+		}
+	}
+	if n != st.n || rn != st.rn {
+		return fmt.Errorf("btsim: invariant: sampler counts n=%d rn=%v, recount n=%d rn=%v", st.n, st.rn, n, rn)
+	}
+	approx := func(a, b float64) bool {
+		d := a - b
+		if d < 0 {
+			d = -d
+		}
+		m := 1.0
+		if a > m || a < -m {
+			if a < 0 {
+				m = -a
+			} else {
+				m = a
+			}
+		}
+		return d <= 1e-6*m
+	}
+	if !approx(st.sx, sx) || !approx(st.sy, sy) || !approx(st.sxx, sxx) ||
+		!approx(st.syy, syy) || !approx(st.sxy, sxy) ||
+		!approx(st.rsum[0], rsum[0]) || !approx(st.rsum[1], rsum[1]) || !approx(st.rsum[2], rsum[2]) {
+		return fmt.Errorf("btsim: invariant: sampler accumulators diverge from cached rows")
 	}
 	return nil
 }

@@ -40,7 +40,10 @@ import (
 
 // Version is the container format version. Open rejects any other value:
 // a reader must never guess at the layout of a payload it does not know.
-const Version = 1
+// v2 appended the sharded-stepping state (shard width, per-shard RNG
+// sub-streams, dirty sets) and the incremental sampler accumulators to the
+// swarm payload.
+const Version = 2
 
 // magic identifies a checkpoint container; 8 bytes, never versioned (the
 // version word after it is).

@@ -1,0 +1,18 @@
+package rng
+
+// NewStream returns the generator for sub-stream `stream` of a seed: a
+// deterministic family of independent generators indexed by an integer.
+// Unlike Split, which consumes state from a parent generator (so the k-th
+// child depends on how many draws preceded it), NewStream(seed, k) depends
+// only on (seed, k) — the sharded swarm stepper relies on this so shard k's
+// stream is identical no matter when the shard was materialised (initial
+// roster vs. later growth) or how many worker goroutines exist.
+func NewStream(seed, stream uint64) *RNG {
+	// Avalanche the stream index through the splitmix64 finalizer so
+	// consecutive indices land far apart, then offset the seed with it.
+	z := stream + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return New(seed ^ z ^ 0xa5a3564d3cf8b9e1)
+}

@@ -48,9 +48,15 @@ const (
 	CtrDeparts
 	CtrCrashes
 	// CtrRechokes counts per-peer choke recomputations; CtrOptimistics
-	// counts optimistic-unchoke rotations.
+	// counts optimistic-unchoke rotations; CtrChokeSkips counts scheduled
+	// rechokes the event-driven stepper proved to be no-ops and skipped;
+	// CtrActiveRebuilds counts active-transfer-cache rebuilds (the
+	// dirty-set layer's other cost — skips vs rebuilds shows when lazy
+	// stepping wins).
 	CtrRechokes
 	CtrOptimistics
+	CtrChokeSkips
+	CtrActiveRebuilds
 	// CtrPieces counts piece completions across all peers.
 	CtrPieces
 	// CtrAnnounces counts tracker announces served; CtrAnnounceEdges the
@@ -90,6 +96,8 @@ var counterNames = [numCounters]string{
 	CtrCrashes:          "btsim_crashes_total",
 	CtrRechokes:         "btsim_rechokes_total",
 	CtrOptimistics:      "btsim_optimistic_rotations_total",
+	CtrChokeSkips:       "btsim_choke_skips_total",
+	CtrActiveRebuilds:   "btsim_active_rebuilds_total",
 	CtrPieces:           "btsim_piece_completions_total",
 	CtrAnnounces:        "btsim_announces_total",
 	CtrAnnounceEdges:    "btsim_announce_edges_total",
@@ -123,6 +131,12 @@ const (
 	// GaugeActiveRuns is the tracker daemon's currently executing
 	// scenario-run count (bounded by its worker pool).
 	GaugeActiveRuns
+	// GaugeStepWorkers / GaugeShards publish the sharded stepper's current
+	// worker count and shard count. Note: GaugeStepWorkers legitimately
+	// differs between byte-identical runs at different -step-workers, so
+	// identity cross-checks compare plain emit streams, not telemetry.
+	GaugeStepWorkers
+	GaugeShards
 	numGauges
 )
 
@@ -133,6 +147,9 @@ var gaugeNames = [numGauges]string{
 	GaugeSeeds:      "btsim_present_seeds",
 	GaugeStaleEdges: "btsim_stale_edges",
 	GaugeActiveRuns: "trackerd_active_runs",
+
+	GaugeStepWorkers: "btsim_step_workers",
+	GaugeShards:      "btsim_shards",
 }
 
 // PhaseID identifies a duration histogram in the static registry — one per
@@ -169,6 +186,14 @@ const (
 	// PhaseHandout is one tracker-daemon announce handout (registry lock
 	// acquisition + neighbor selection), measured per served request.
 	PhaseHandout
+	// PhaseChokeShard / PhaseSendShard / PhaseRecvShard are per-shard
+	// durations inside the sharded step phases, recorded by whichever
+	// worker ran the shard (histogram cells are atomic, so concurrent
+	// workers record safely). PhaseChoke/PhaseTransfer still time the
+	// whole pass.
+	PhaseChokeShard
+	PhaseSendShard
+	PhaseRecvShard
 	numPhases
 )
 
@@ -185,6 +210,10 @@ var phaseNames = [numPhases]string{
 	PhaseCheckpointLoad:  "checkpoint_load",
 
 	PhaseHandout: "handout",
+
+	PhaseChokeShard: "choke_shard",
+	PhaseSendShard:  "transfer_send",
+	PhaseRecvShard:  "transfer_recv",
 }
 
 // NumBuckets is the fixed histogram size: bucket i (< NumBuckets-1) counts
